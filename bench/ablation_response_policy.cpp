@@ -1,0 +1,70 @@
+// Ablation: the response policy of the probabilistic detectors.
+//
+// DESIGN.md's one interpretive step is the probability floor: continuations
+// at or below the floor quantize to the maximal response. This ablation
+// sweeps the floor (and Laplace smoothing) for the Markov detector and shows
+// where the paper's Figure 4 (full coverage) comes from:
+//   * floor 0: only literally-impossible continuations are maximal — the map
+//     collapses toward Stide's (coverage only where something foreign enters
+//     the conditioning window);
+//   * floor = the paper's rarity cutoff (0.5%): full coverage (Figure 4);
+//   * larger floors keep full coverage but raise false alarms on normal data;
+//   * Laplace smoothing removes zero probabilities entirely and, with floor
+//     0, blinds the detector everywhere.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+#include "core/false_alarm.hpp"
+#include "detect/registry.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace adiv;
+    auto ctx = bench::context_from_args(
+        argv[0], "Ablation: probability floor / smoothing of the Markov detector",
+        argc, argv);
+    if (!ctx) return 0;
+
+    struct Variant {
+        const char* label;
+        double floor;
+        double alpha;
+    };
+    const Variant variants[] = {
+        {"floor=0 (raw probabilities)", 0.0, 0.0},
+        {"floor=0.1%", 0.001, 0.0},
+        {"floor=0.5% (paper's rarity cutoff)", 0.005, 0.0},
+        {"floor=2%", 0.02, 0.0},
+        {"laplace=0.5, floor=0", 0.0, 0.5},
+        {"laplace=0.5, floor=0.5%", 0.005, 0.5},
+    };
+
+    const EventStream heldout = ctx->corpus->generate_heldout(100'000, 90210);
+
+    bench::banner("Markov detector coverage and false alarms per response policy");
+    TextTable table;
+    table.header({"policy", "capable", "weak", "blind", "FA rate @ DW=6"});
+    for (const Variant& v : variants) {
+        DetectorSettings settings;
+        settings.markov.probability_floor = v.floor;
+        settings.markov.laplace_alpha = v.alpha;
+        const PerformanceMap map =
+            run_map_experiment(*ctx->suite, std::string("markov ") + v.label,
+                               factory_for(DetectorKind::Markov, settings));
+        auto d6 = make_detector(DetectorKind::Markov, 6, settings);
+        d6->train(ctx->corpus->training());
+        const FalseAlarmResult fa = measure_false_alarms(*d6, heldout);
+        table.add(v.label, map.count(DetectionOutcome::Capable),
+                  map.count(DetectionOutcome::Weak),
+                  map.count(DetectionOutcome::Blind), percent(fa.rate(), 3));
+    }
+    std::cout << table.render();
+    std::printf("\nThe paper's full-coverage Markov map needs the detector to "
+                "treat below-cutoff\nconditional probabilities as maximally "
+                "anomalous; with raw probabilities the MFS's\nrare-but-seen "
+                "junctions never reach response 1, and with smoothing alone "
+                "nothing does.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation: t-Stide and the locality frame count — extensions beyond the
+// paper's four detectors.
+//
+// t-Stide (Warrender et al. 1999) treats rare-as-well-as-foreign windows as
+// anomalous; its coverage should land between Stide's (foreign only) and the
+// Markov detector's, at a false-alarm cost. The LFC post-filter shows the
+// noise-suppression stage the paper deliberately excluded from its
+// evaluation: it suppresses isolated false alarms but also suppresses the
+// (isolated) MFS hit, illustrating why the study scored intrinsic responses.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ensemble.hpp"
+#include "core/experiment.hpp"
+#include "core/false_alarm.hpp"
+#include "detect/lfc.hpp"
+#include "detect/registry.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace adiv;
+    auto ctx = bench::context_from_args(
+        argv[0], "Ablation: t-Stide coverage and the LFC post-filter", argc, argv);
+    if (!ctx) return 0;
+
+    bench::banner("Coverage: stide vs t-stide vs markov");
+    const PerformanceMap stide_map =
+        run_map_experiment(*ctx->suite, "stide", factory_for(DetectorKind::Stide));
+    const PerformanceMap tstide_map = run_map_experiment(
+        *ctx->suite, "t-stide", factory_for(DetectorKind::TStide));
+    const PerformanceMap markov_map = run_map_experiment(
+        *ctx->suite, "markov", factory_for(DetectorKind::Markov));
+
+    std::cout << tstide_map.render() << '\n';
+    const CoverageSet cs = CoverageSet::capable_cells(stide_map);
+    const CoverageSet ct = CoverageSet::capable_cells(tstide_map);
+    const CoverageSet cm = CoverageSet::capable_cells(markov_map);
+    TextTable table;
+    table.header({"detector", "capable cells"});
+    table.add("stide", cs.size());
+    table.add("t-stide", ct.size());
+    table.add("markov", cm.size());
+    std::cout << table.render();
+    std::printf("\nsubset relations: stide c t-stide: %s | t-stide c markov: %s\n",
+                cs.subset_of(ct) ? "yes" : "NO", ct.subset_of(cm) ? "yes" : "NO");
+
+    bench::banner("False-alarm cost of flagging rare windows (DW = 6)");
+    const EventStream heldout = ctx->corpus->generate_heldout(150'000, 777);
+    TextTable fa;
+    fa.header({"detector", "alarms", "windows", "FA rate"});
+    for (DetectorKind kind :
+         {DetectorKind::Stide, DetectorKind::TStide, DetectorKind::Markov}) {
+        auto d = make_detector(kind, 6);
+        d->train(ctx->corpus->training());
+        const FalseAlarmResult r = measure_false_alarms(*d, heldout);
+        fa.add(to_string(kind), r.alarms, r.windows, percent(r.rate(), 3));
+    }
+    std::cout << fa.render();
+
+    bench::banner("LFC post-filter on t-stide responses");
+    {
+        // Count alarm BURSTS (0 -> 1 transitions): the operator-facing unit.
+        auto bursts = [](std::span<const double> alarms, double cutoff) {
+            std::size_t n = 0;
+            bool prev = false;
+            for (double a : alarms) {
+                const bool now = a >= cutoff;
+                if (now && !prev) ++n;
+                prev = now;
+            }
+            return n;
+        };
+
+        auto d = make_detector(DetectorKind::TStide, 6);
+        d->train(ctx->corpus->training());
+        LocalityFrameConfig tight;   // demands a dense burst
+        tight.frame_size = 20;
+        tight.threshold = 8;
+        const auto raw = d->score(heldout);
+        const auto filtered = locality_frame_filter(raw, tight);
+        std::printf("held-out normal data (DW=6): alarm bursts raw %zu -> "
+                    "LFC(frame=20, thr=8) %zu\n",
+                    bursts(raw, kMaximalResponse), bursts(filtered, 1.0));
+
+        // A dense anomaly survives: the size-6 MFS at DW 6 lights up ~11
+        // span windows, enough to satisfy the frame.
+        const auto& dense = ctx->suite->entry(6, 6);
+        const auto dense_filtered =
+            locality_frame_filter(d->score(dense.stream.stream), tight);
+        bool dense_hit = false;
+        for (std::size_t p = dense.stream.span.first; p <= dense.stream.span.last;
+             ++p)
+            dense_hit = dense_hit || dense_filtered[p] >= 1.0;
+        std::printf("dense anomaly (AS=6, DW=6): filtered hit %s\n",
+                    dense_hit ? "KEPT" : "suppressed");
+
+        // An isolated anomaly is suppressed: Stide at AS=2, DW=2 produces a
+        // single foreign window, which the same frame filters out — exactly
+        // why the study scores intrinsic responses (Section 5.5) instead.
+        auto stide2 = make_detector(DetectorKind::Stide, 2);
+        stide2->train(ctx->corpus->training());
+        const auto& isolated = ctx->suite->entry(2, 2);
+        const auto iso_raw = stide2->score(isolated.stream.stream);
+        const auto iso_filtered = locality_frame_filter(iso_raw, tight);
+        bool iso_raw_hit = false, iso_hit = false;
+        for (std::size_t p = isolated.stream.span.first;
+             p <= isolated.stream.span.last; ++p) {
+            iso_raw_hit = iso_raw_hit || iso_raw[p] >= kMaximalResponse;
+            iso_hit = iso_hit || iso_filtered[p] >= 1.0;
+        }
+        std::printf("isolated anomaly (stide, AS=2, DW=2): raw hit %s -> "
+                    "filtered hit %s\n",
+                    iso_raw_hit ? "yes" : "no", iso_hit ? "KEPT" : "SUPPRESSED");
+        std::printf("\nThe LFC buys noise suppression at the price of isolated "
+                    "detections; scoring\nintrinsic responses (the paper's "
+                    "choice, Section 5.5) keeps the evaluation\nabout the "
+                    "similarity metric itself.\n");
+    }
+    return 0;
+}

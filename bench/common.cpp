@@ -1,0 +1,63 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "util/stopwatch.hpp"
+
+namespace adiv::bench {
+
+void add_common_options(CliParser& cli) {
+    cli.add_option("training-length", "1000000",
+                   "training stream length (paper: 1,000,000)");
+    cli.add_option("background", "4096", "test-stream background length");
+    cli.add_option("min-anomaly", "2", "smallest anomaly size (paper: 2)");
+    cli.add_option("max-anomaly", "9", "largest anomaly size (paper: 9)");
+    cli.add_option("min-window", "2", "smallest detector window (paper: 2)");
+    cli.add_option("max-window", "15", "largest detector window (paper: 15)");
+    cli.add_option("seed", "20050628", "corpus generation seed");
+}
+
+Context make_context(const CliParser& cli, bool build_suite) {
+    Context ctx;
+    ctx.spec.training_length =
+        static_cast<std::size_t>(cli.get_int("training-length"));
+    ctx.spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    ctx.suite_config.background_length =
+        static_cast<std::size_t>(cli.get_int("background"));
+    ctx.suite_config.min_anomaly_size =
+        static_cast<std::size_t>(cli.get_int("min-anomaly"));
+    ctx.suite_config.max_anomaly_size =
+        static_cast<std::size_t>(cli.get_int("max-anomaly"));
+    ctx.suite_config.min_window = static_cast<std::size_t>(cli.get_int("min-window"));
+    ctx.suite_config.max_window = static_cast<std::size_t>(cli.get_int("max-window"));
+
+    Stopwatch sw;
+    ctx.corpus = std::make_unique<TrainingCorpus>(TrainingCorpus::generate(ctx.spec));
+    std::printf("# corpus: %zu elements, alphabet %zu (%.2fs)\n",
+                ctx.corpus->training().size(), ctx.spec.alphabet_size, sw.seconds());
+    if (build_suite) {
+        sw.restart();
+        ctx.suite = std::make_unique<EvaluationSuite>(
+            EvaluationSuite::build(*ctx.corpus, ctx.suite_config));
+        std::printf("# suite: %zu test streams (AS %zu..%zu x DW %zu..%zu) (%.2fs)\n",
+                    ctx.suite->entry_count(), ctx.suite_config.min_anomaly_size,
+                    ctx.suite_config.max_anomaly_size, ctx.suite_config.min_window,
+                    ctx.suite_config.max_window, sw.seconds());
+    }
+    return ctx;
+}
+
+std::unique_ptr<Context> context_from_args(const std::string& program,
+                                           const std::string& summary, int argc,
+                                           char** argv, bool build_suite) {
+    CliParser cli(program, summary);
+    add_common_options(cli);
+    if (!cli.parse(argc, argv)) return nullptr;
+    return std::make_unique<Context>(make_context(cli, build_suite));
+}
+
+void banner(const std::string& title) {
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+}  // namespace adiv::bench

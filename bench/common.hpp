@@ -1,0 +1,40 @@
+// Shared setup for the figure-regeneration harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper at paper scale
+// by default (1M-element corpus, AS 2..9, DW 2..15) and accepts a few
+// overrides for quick runs. Output goes to stdout: the rendered chart first,
+// then a CSV block for replotting.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "anomaly/suite.hpp"
+#include "datagen/corpus.hpp"
+#include "util/cli.hpp"
+
+namespace adiv::bench {
+
+struct Context {
+    CorpusSpec spec;
+    SuiteConfig suite_config;
+    std::unique_ptr<TrainingCorpus> corpus;
+    std::unique_ptr<EvaluationSuite> suite;
+};
+
+/// Registers the common options on a parser.
+void add_common_options(CliParser& cli);
+
+/// Builds corpus (always) and suite (when build_suite) from parsed options.
+Context make_context(const CliParser& cli, bool build_suite = true);
+
+/// Convenience: parse argv with the common options; returns nullptr if
+/// --help was requested.
+std::unique_ptr<Context> context_from_args(const std::string& program,
+                                           const std::string& summary, int argc,
+                                           char** argv, bool build_suite = true);
+
+/// Prints a section header to stdout.
+void banner(const std::string& title);
+
+}  // namespace adiv::bench

@@ -1,0 +1,73 @@
+// Section 5.3: the evaluation corpus and its claimed properties.
+//
+// Verifies and reports, at paper scale: the 1,000,000-element training
+// stream over an alphabet of 8; ~98% of the stream being repetitions of the
+// base cycle; the ~2% nondeterministic remainder supplying rare sequences
+// (relative frequency < 0.5%) at every length used to compose anomalies; and
+// the zero-probability transitions that make foreign pairs possible.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "seq/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace adiv;
+    auto ctx = bench::context_from_args(
+        argv[0], "Corpus census (Section 5.3 properties)", argc, argv,
+        /*build_suite=*/false);
+    if (!ctx) return 0;
+    const TrainingCorpus& corpus = *ctx->corpus;
+    const EventStream& train = corpus.training();
+
+    bench::banner("Stream-level properties");
+    std::printf("training elements      : %zu  (paper: 1,000,000)\n", train.size());
+    std::printf("alphabet size          : %zu  (paper: 8)\n", train.alphabet_size());
+    std::printf("base-cycle coverage    : %s  (paper: ~98%% of the stream is the "
+                "repeated cycle)\n",
+                percent(cycle_coverage(train, corpus.cycle()), 2).c_str());
+    std::printf("cycle continuation rate: %s  (per-transition determinism)\n",
+                percent(deterministic_continuation_rate(train, corpus.cycle()), 2)
+                    .c_str());
+
+    bench::banner("Per-length census (rare = relative frequency < 0.5%)");
+    TextTable table;
+    table.header({"n", "windows", "distinct n-grams", "common", "rare",
+                  "rare mass"});
+    for (std::size_t n = 2; n <= 9; ++n) {
+        const LengthCensus c = census(train, n, corpus.spec().rare_threshold);
+        table.add(n, c.windows, c.distinct, c.common, c.rare,
+                  percent(c.rare_mass, 3));
+    }
+    std::cout << table.render();
+
+    bench::banner("Rarest 2-grams (deviation transitions)");
+    {
+        const NgramTable pairs = NgramTable::from_stream(train, 2);
+        TextTable rare_table;
+        rare_table.header({"gram", "count", "rel freq"});
+        std::size_t shown = 0;
+        for (const RareGram& rg :
+             rare_grams(pairs, corpus.spec().rare_threshold)) {
+            if (++shown > 10) break;
+            rare_table.add(std::to_string(rg.gram[0]) + " " +
+                               std::to_string(rg.gram[1]),
+                           rg.count, percent(rg.relative_frequency, 4));
+        }
+        std::cout << rare_table.render();
+    }
+
+    bench::banner("Zero-probability transitions (sources of foreign pairs)");
+    std::size_t forbidden_total = 0;
+    for (Symbol s = 0; s < train.alphabet_size(); ++s)
+        forbidden_total += corpus.forbidden_successors(s).size();
+    std::printf("forbidden (from, to) pairs in the generator: %zu of %zu\n",
+                forbidden_total,
+                train.alphabet_size() * train.alphabet_size());
+    std::printf("example: from 0 ->");
+    for (Symbol t : corpus.forbidden_successors(0)) std::printf(" %u", t);
+    std::printf("   (never generated; any such pair is a minimal foreign "
+                "sequence of size 2)\n");
+    return 0;
+}

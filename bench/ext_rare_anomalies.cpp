@@ -1,0 +1,105 @@
+// Extension experiment: rare-sequence anomalies across all seven detectors.
+//
+// The paper restricts its charts to the minimal foreign sequence but states
+// the dichotomy that motivates them (Section 5.1): rare sequences are
+// detectable by probabilistic detectors and invisible to pure
+// sequence-matching ones. This harness charts it: a present-but-rare
+// sequence of each size is injected into clean background (no foreign window
+// anywhere) and every detector's incident-span outcome is recorded over the
+// AS x DW grid.
+//
+// Expected shapes: stide and lane-brodley blind on the entire grid; markov,
+// neural-net, hmm, t-stide and rule capable across it.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "anomaly/rare_anomaly.hpp"
+#include "common.hpp"
+#include "core/perf_map.hpp"
+#include "detect/registry.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace adiv;
+    CliParser cli(argv[0], "Rare-sequence anomaly coverage, all detectors");
+    bench::add_common_options(cli);
+    if (!cli.parse(argc, argv)) return 0;
+    auto ctx = bench::make_context(cli, /*build_suite=*/false);
+
+    const std::size_t min_as = 2, max_as = 8;
+    const std::size_t min_dw = 2,
+                      max_dw = std::min<std::size_t>(ctx.suite_config.max_window, 8);
+    std::vector<std::size_t> as_values, dw_values;
+    for (std::size_t as = min_as; as <= max_as; ++as) as_values.push_back(as);
+    for (std::size_t dw = min_dw; dw <= max_dw; ++dw) dw_values.push_back(dw);
+
+    const SubsequenceOracle oracle(ctx.corpus->training());
+    const RareAnomalyBuilder builder(oracle, ctx.corpus->spec().rare_threshold);
+    const RareInjector injector(*ctx.corpus, oracle);
+
+    // One rare anomaly per size, injected per window length; a candidate must
+    // inject cleanly for every window or the next candidate is tried.
+    std::map<std::pair<std::size_t, std::size_t>, InjectedStream> streams;
+    for (std::size_t as : as_values) {
+        bool placed = false;
+        for (const Sequence& anomaly : builder.candidates(as, 64)) {
+            std::map<std::pair<std::size_t, std::size_t>, InjectedStream> cells;
+            bool ok = true;
+            for (std::size_t dw : dw_values) {
+                auto injected = injector.try_inject(
+                    anomaly, dw, ctx.suite_config.background_length);
+                if (!injected) {
+                    ok = false;
+                    break;
+                }
+                cells[{as, dw}] = std::move(*injected);
+            }
+            if (!ok) continue;
+            for (auto& [key, stream] : cells) streams[key] = std::move(stream);
+            std::printf("# AS=%zu rare anomaly:", as);
+            for (Symbol s : anomaly) std::printf(" %u", s);
+            std::printf("  (training frequency %s)\n",
+                        percent(oracle.relative_frequency(anomaly), 4).c_str());
+            placed = true;
+            break;
+        }
+        if (!placed) {
+            std::printf("# AS=%zu: no injectable rare anomaly found; skipping\n",
+                        as);
+        }
+    }
+
+    DetectorSettings settings;
+    settings.nn.epochs = 300;
+    settings.hmm.iterations = 20;
+
+    bench::banner("Rare-anomaly performance maps");
+    TextTable summary;
+    summary.header({"detector", "capable", "weak", "blind", "of"});
+    for (DetectorKind kind : all_detectors()) {
+        PerformanceMap map(to_string(kind) + " (rare anomaly)", as_values,
+                           dw_values);
+        for (std::size_t dw : dw_values) {
+            auto detector = make_detector(kind, dw, settings);
+            detector->train(ctx.corpus->training());
+            for (std::size_t as : as_values) {
+                const auto it = streams.find({as, dw});
+                if (it == streams.end()) continue;
+                const auto responses = detector->score(it->second.stream);
+                map.set(as, dw, classify_span(responses, it->second.span));
+            }
+        }
+        std::cout << map.render() << '\n';
+        summary.add(to_string(kind), map.count(DetectionOutcome::Capable),
+                    map.count(DetectionOutcome::Weak),
+                    map.count(DetectionOutcome::Blind), map.cell_count());
+    }
+    std::cout << summary.render();
+    std::printf("\nPure sequence-matching (stide, lane-brodley) cannot respond "
+                "to an event that is\nmerely rare; frequency- and "
+                "probability-based detectors can — the asymmetry that\nmakes "
+                "the Markov detector a superset of Stide and a false-alarm "
+                "machine at once.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// masquerade: the Lane & Brodley detector in its home domain — user command
+// streams — and why its similarity metric still under-reports foreign
+// behaviour.
+//
+// A legitimate user's shell sessions train the detectors; a masquerader then
+// types a command sequence that is FOREIGN to the user's history but shares
+// most of its commands. The L&B similarity to the nearest normal window
+// stays high (the masquerade looks "close to normal"), while the Markov
+// detector flags the improbable transitions outright — the paper's Figure 7
+// phenomenon on natural-looking data.
+//
+// Usage: ./examples/masquerade [--window 5]
+#include <cstdio>
+
+#include "adiv.hpp"
+
+using namespace adiv;
+
+int main(int argc, char** argv) {
+    CliParser cli("masquerade",
+                  "L&B vs Markov on a masquerading user's command stream");
+    cli.add_option("window", "5", "detector window (DW)");
+    cli.add_option("trace-length", "150000", "training trace length");
+    if (!cli.parse(argc, argv)) return 0;
+    const auto dw = static_cast<std::size_t>(cli.get_int("window"));
+
+    const TraceModel user = make_command_model();
+    const Alphabet& commands = user.alphabet();
+    const EventStream training = user.generate(
+        static_cast<std::size_t>(cli.get_int("trace-length")), /*seed=*/5);
+    std::printf("user history: %zu commands over %zu distinct commands\n",
+                training.size(), commands.size());
+
+    // The masquerader's session: synthesized as a minimal foreign sequence of
+    // the user's own commands — familiar vocabulary, unfamiliar order.
+    const SubsequenceOracle oracle(training);
+    MfsConfig cfg;
+    cfg.require_rare_composition = false;
+    const MfsBuilder builder(oracle, cfg);
+    const Sequence masquerade = builder.build(dw);
+    std::printf("masquerade sequence (size %zu, foreign to the history):\n  %s\n",
+                masquerade.size(), commands.format(masquerade).c_str());
+
+    LaneBrodleyDetector lb(dw);
+    MarkovDetector markov(dw);
+    lb.train(training);
+    markov.train(training);
+
+    // Score the masquerade window itself.
+    const EventStream session(commands.size(), masquerade);
+    const double lb_response = lb.score(session).front();
+    const double markov_response = markov.score(session).front();
+    const std::uint64_t sim = lb.max_similarity_to_normal(masquerade);
+    const std::uint64_t sim_max = lane_brodley_max_similarity(dw);
+
+    std::printf("\nlane-brodley: similarity to nearest normal window = %llu of "
+                "%llu -> response %.3f\n",
+                static_cast<unsigned long long>(sim),
+                static_cast<unsigned long long>(sim_max), lb_response);
+    std::printf("markov      : response %.3f%s\n", markov_response,
+                markov_response >= kMaximalResponse ? "  (maximal -> alarm)" : "");
+
+    std::printf("\nAt the study's detection threshold (maximal responses only):\n");
+    std::printf("  lane-brodley %s the masquerade; markov %s it.\n",
+                lb_response >= kMaximalResponse ? "flags" : "MISSES",
+                markov_response >= kMaximalResponse ? "flags" : "misses");
+
+    // What threshold would L&B need? And what does that cost on normal data?
+    const EventStream fresh = user.generate(30'000, /*seed=*/99);
+    const auto lb_normal = lb.score(fresh);
+    std::size_t would_alarm = 0;
+    for (double r : lb_normal)
+        if (r >= lb_response - 1e-12) ++would_alarm;
+    std::printf("\nTo catch it, L&B's threshold must drop to response >= %.3f; "
+                "on a fresh normal\nsession of %zu commands that threshold "
+                "also fires %zu times (%s of windows) --\nthe false-alarm cost "
+                "Section 7 derives.\n",
+                lb_response, fresh.size(), would_alarm,
+                percent(static_cast<double>(would_alarm) /
+                            static_cast<double>(lb_normal.size()), 2)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "anomaly/foreign.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+ForeignCheck check_foreign(const SubsequenceOracle& oracle, SymbolView gram) {
+    require(gram.size() >= 2, "foreignness diagnostics need length >= 2");
+    ForeignCheck out;
+    out.elements_in_alphabet = true;
+    for (Symbol s : gram) {
+        const Sequence single{s};
+        if (!oracle.present(single)) {
+            out.elements_in_alphabet = false;
+            break;
+        }
+    }
+    out.absent = !oracle.present(gram);
+    const SymbolView prefix = gram.subspan(0, gram.size() - 1);
+    const SymbolView suffix = gram.subspan(1, gram.size() - 1);
+    out.prefix_present = oracle.present(prefix);
+    out.suffix_present = oracle.present(suffix);
+    out.prefix_relative_frequency = oracle.relative_frequency(prefix);
+    out.suffix_relative_frequency = oracle.relative_frequency(suffix);
+    return out;
+}
+
+bool is_foreign(const SubsequenceOracle& oracle, SymbolView gram) {
+    return check_foreign(oracle, gram).foreign();
+}
+
+bool is_minimal_foreign(const SubsequenceOracle& oracle, SymbolView gram) {
+    return check_foreign(oracle, gram).minimal_foreign();
+}
+
+bool all_proper_windows_present(const SubsequenceOracle& oracle, SymbolView gram) {
+    for (std::size_t len = 1; len < gram.size(); ++len)
+        for (std::size_t pos = 0; pos + len <= gram.size(); ++pos)
+            if (!oracle.present(gram.subspan(pos, len))) return false;
+    return true;
+}
+
+}  // namespace adiv

@@ -1,0 +1,55 @@
+// Foreignness and minimality of sequences relative to a training stream.
+//
+// Definitions (Section 5.1 of the paper):
+//   * A sequence of length N is FOREIGN when each of its elements occurs in
+//     the training alphabet but the full length-N sequence never occurs in
+//     the training data.
+//   * A MINIMAL FOREIGN SEQUENCE (MFS) is a foreign sequence all of whose
+//     proper contiguous sub-sequences DO occur in the training data — a
+//     foreign sequence containing no smaller foreign sequence.
+//
+// Because sub-sequence presence is upward-hereditary (if a window occurs,
+// every window inside it occurs), minimality of a length-N sequence reduces
+// to presence of its two length-(N-1) windows; the exhaustive check is still
+// provided for verification and tests.
+#pragma once
+
+#include "anomaly/subsequence_oracle.hpp"
+#include "seq/types.hpp"
+
+namespace adiv {
+
+/// Full diagnostic of a candidate anomaly against the training data.
+struct ForeignCheck {
+    bool elements_in_alphabet = false;   ///< every symbol occurs in training
+    bool absent = false;                 ///< the full sequence never occurs
+    bool prefix_present = false;         ///< the length-(N-1) prefix occurs
+    bool suffix_present = false;         ///< the length-(N-1) suffix occurs
+    double prefix_relative_frequency = 0.0;
+    double suffix_relative_frequency = 0.0;
+
+    /// foreign = known elements + absent whole.
+    [[nodiscard]] bool foreign() const noexcept {
+        return elements_in_alphabet && absent;
+    }
+    /// minimal foreign = foreign + both (N-1)-windows present.
+    [[nodiscard]] bool minimal_foreign() const noexcept {
+        return foreign() && prefix_present && suffix_present;
+    }
+};
+
+/// Runs the prefix/suffix diagnostic. Requires gram.size() >= 2.
+ForeignCheck check_foreign(const SubsequenceOracle& oracle, SymbolView gram);
+
+/// True iff the sequence is foreign w.r.t. the oracle's training stream.
+bool is_foreign(const SubsequenceOracle& oracle, SymbolView gram);
+
+/// True iff the sequence is a minimal foreign sequence.
+bool is_minimal_foreign(const SubsequenceOracle& oracle, SymbolView gram);
+
+/// Exhaustive minimality evidence: every contiguous proper sub-sequence of
+/// every length 1..N-1 occurs in training. Quadratic; used by tests and the
+/// suite's final verification pass, not by the builder's search loop.
+bool all_proper_windows_present(const SubsequenceOracle& oracle, SymbolView gram);
+
+}  // namespace adiv

@@ -1,0 +1,137 @@
+#include "anomaly/injection.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+IncidentSpan incident_span(std::size_t anomaly_pos, std::size_t anomaly_size,
+                           std::size_t window_length, std::size_t stream_size) {
+    require(anomaly_size > 0, "anomaly must be non-empty");
+    require(window_length > 0, "window length must be positive");
+    require(anomaly_pos + anomaly_size <= stream_size, "anomaly outside stream");
+    require(stream_size >= window_length, "stream shorter than one window");
+    IncidentSpan span;
+    span.first = anomaly_pos >= window_length - 1 ? anomaly_pos - (window_length - 1) : 0;
+    span.last = std::min(anomaly_pos + anomaly_size - 1, stream_size - window_length);
+    ADIV_ASSERT(span.first <= span.last);
+    return span;
+}
+
+bool window_covers_anomaly(std::size_t window_pos, std::size_t window_length,
+                           std::size_t anomaly_pos,
+                           std::size_t anomaly_size) noexcept {
+    return window_pos <= anomaly_pos &&
+           window_pos + window_length >= anomaly_pos + anomaly_size;
+}
+
+Injector::Injector(const TrainingCorpus& corpus, const SubsequenceOracle& oracle)
+    : corpus_(&corpus), oracle_(&oracle) {
+    require(&oracle.training() == &corpus.training(),
+            "oracle must be built over the corpus training stream");
+}
+
+std::string Injector::validate(const EventStream& stream, std::size_t anomaly_pos,
+                               std::size_t anomaly_size,
+                               std::size_t window_length) const {
+    const double rare = corpus_->spec().rare_threshold;
+    const IncidentSpan span =
+        incident_span(anomaly_pos, anomaly_size, window_length, stream.size());
+    const NgramTable& table = oracle_->table(window_length);
+    const double total = static_cast<double>(table.total());
+
+    const std::size_t windows = stream.window_count(window_length);
+    // Span windows first: they are few and carry all realistic failure modes,
+    // so a bad phase choice fails fast.
+    auto check_window = [&](std::size_t pos) -> std::string {
+        const SymbolView w = stream.window(pos, window_length);
+        const std::uint64_t count = table.count(w);
+        if (window_covers_anomaly(pos, window_length, anomaly_pos, anomaly_size)) {
+            if (count != 0)
+                return "window at " + std::to_string(pos) +
+                       " covers the whole anomaly yet occurs in training";
+            return {};
+        }
+        if (span.contains(pos)) {
+            if (count == 0)
+                return "boundary window at " + std::to_string(pos) +
+                       " is an unintended foreign sequence";
+            return {};
+        }
+        if (count == 0)
+            return "background window at " + std::to_string(pos) +
+                   " is an unintended foreign sequence";
+        if (static_cast<double>(count) / total < rare)
+            return "background window at " + std::to_string(pos) +
+                   " is an unintended rare sequence";
+        return {};
+    };
+
+    for (std::size_t pos = span.first; pos <= span.last; ++pos)
+        if (auto reason = check_window(pos); !reason.empty()) return reason;
+    for (std::size_t pos = 0; pos < windows; ++pos) {
+        if (span.contains(pos)) continue;
+        if (auto reason = check_window(pos); !reason.empty()) return reason;
+    }
+    return {};
+}
+
+std::optional<InjectedStream> Injector::try_inject(
+    SymbolView anomaly, std::size_t window_length,
+    std::size_t background_length) const {
+    require(!anomaly.empty(), "anomaly must be non-empty");
+    require(window_length >= 2, "window length must be at least 2");
+    const std::size_t n = corpus_->spec().alphabet_size;
+    require(background_length >= anomaly.size() + 4 * window_length + 2 * n,
+            "background too short to host the anomaly and its boundaries");
+
+    const std::size_t left_len = (background_length - anomaly.size()) / 2;
+    const std::size_t right_len = background_length - anomaly.size() - left_len;
+
+    // Phase preference: the left background should flow into the anomaly's
+    // first element along the cycle, and the right background should continue
+    // from its last element; other phases are tried as fallbacks.
+    auto preferred_first = [n](Symbol preferred) {
+        std::vector<Symbol> order;
+        order.reserve(n);
+        for (std::size_t k = 0; k < n; ++k)
+            order.push_back(static_cast<Symbol>((preferred + k) % n));
+        return order;
+    };
+    // Left run of length L ending at symbol e starts at (e - (L-1)) mod n.
+    auto left_start_for_end = [&](Symbol end) {
+        const std::size_t shift = (left_len - 1) % n;
+        return static_cast<Symbol>((end + n - shift) % n);
+    };
+
+    const Symbol want_left_end =
+        static_cast<Symbol>((anomaly.front() + n - 1) % n);
+    const Symbol want_right_start = corpus_->cycle_successor(anomaly.back());
+
+    for (Symbol left_end : preferred_first(want_left_end)) {
+        for (Symbol right_start : preferred_first(want_right_start)) {
+            EventStream stream =
+                corpus_->background(left_len, left_start_for_end(left_end));
+            ADIV_ASSERT(stream[stream.size() - 1] == left_end);
+            stream.append(anomaly);
+            const EventStream right = corpus_->background(right_len, right_start);
+            stream.append(right.view());
+
+            if (!validate(stream, left_len, anomaly.size(), window_length).empty())
+                continue;
+
+            InjectedStream out;
+            out.anomaly_pos = left_len;
+            out.anomaly_size = anomaly.size();
+            out.window_length = window_length;
+            out.span = incident_span(left_len, anomaly.size(), window_length,
+                                     stream.size());
+            out.stream = std::move(stream);
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace adiv

@@ -1,0 +1,99 @@
+// Boundary-safe injection of an anomaly into clean background data, and the
+// incident span used to score detector responses (Figure 2 of the paper).
+//
+// The test data is background (repetitions of the corpus base cycle) with the
+// anomaly spliced in. Random placement would create unintended foreign or
+// rare windows where anomaly and background meet; the paper requires an
+// injection that keeps the boundaries clean. Because the anomaly is composed
+// of rare (present-but-infrequent) training sub-sequences, windows that
+// overlap its interior are necessarily rare — that is inherent to the anomaly
+// and is attributed to it through the incident span. What injection must
+// guarantee is:
+//
+//   * windows OUTSIDE the incident span are common training windows (the
+//     background introduces no signal of its own);
+//   * windows inside the span that do NOT contain the entire anomaly are
+//     PRESENT in training (no unintended foreign sequence is created at the
+//     boundaries — only the anomaly itself is foreign);
+//   * windows that contain the entire anomaly are foreign, which holds
+//     automatically since any superstring of a foreign sequence is foreign.
+//
+// The injector searches the background phases on both sides of the anomaly
+// for a placement meeting these conditions and reports failure when the
+// anomaly cannot be placed — in which case the caller synthesizes a new
+// anomaly and retries, exactly as the paper describes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "anomaly/subsequence_oracle.hpp"
+#include "datagen/corpus.hpp"
+#include "seq/stream.hpp"
+#include "seq/types.hpp"
+
+namespace adiv {
+
+/// The contiguous range of window positions that contain at least one element
+/// of the injected anomaly. Detector responses within the span are attributed
+/// to the anomaly; the maximum response over the span decides hit vs miss.
+struct IncidentSpan {
+    std::size_t first = 0;  ///< first window position in the span (inclusive)
+    std::size_t last = 0;   ///< last window position in the span (inclusive)
+
+    [[nodiscard]] std::size_t count() const noexcept { return last - first + 1; }
+    [[nodiscard]] bool contains(std::size_t window_pos) const noexcept {
+        return window_pos >= first && window_pos <= last;
+    }
+};
+
+/// Span of DW-windows touching the anomaly at [anomaly_pos,
+/// anomaly_pos+anomaly_size). Requires the anomaly to fit in the stream and
+/// the stream to hold at least one window.
+IncidentSpan incident_span(std::size_t anomaly_pos, std::size_t anomaly_size,
+                           std::size_t window_length, std::size_t stream_size);
+
+/// True when the DW-window at window_pos covers every element of the anomaly.
+bool window_covers_anomaly(std::size_t window_pos, std::size_t window_length,
+                           std::size_t anomaly_pos,
+                           std::size_t anomaly_size) noexcept;
+
+/// A validated test stream: background + one injected anomaly.
+struct InjectedStream {
+    EventStream stream;
+    std::size_t anomaly_pos = 0;
+    std::size_t anomaly_size = 0;
+    std::size_t window_length = 0;  ///< the DW this stream was validated for
+    IncidentSpan span;              ///< incident span at that DW
+};
+
+class Injector {
+public:
+    /// Both the corpus and the oracle must outlive the injector; the oracle
+    /// must be built over the corpus training stream.
+    Injector(const TrainingCorpus& corpus, const SubsequenceOracle& oracle);
+
+    /// Attempts to place the anomaly in the middle of `background_length`
+    /// background elements such that the stream validates for windows of
+    /// `window_length`. Tries all background phase combinations, preferring
+    /// the cycle-continuation phases. Returns nullopt when no placement
+    /// satisfies the boundary conditions.
+    [[nodiscard]] std::optional<InjectedStream> try_inject(
+        SymbolView anomaly, std::size_t window_length,
+        std::size_t background_length = 4096) const;
+
+    /// Checks the three conditions above over the whole stream. Returns an
+    /// empty string on success, otherwise a human-readable reason for the
+    /// first violation found.
+    [[nodiscard]] std::string validate(const EventStream& stream,
+                                       std::size_t anomaly_pos,
+                                       std::size_t anomaly_size,
+                                       std::size_t window_length) const;
+
+private:
+    const TrainingCorpus* corpus_;
+    const SubsequenceOracle* oracle_;
+};
+
+}  // namespace adiv

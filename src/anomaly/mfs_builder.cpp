@@ -1,0 +1,89 @@
+#include "anomaly/mfs_builder.hpp"
+
+#include <algorithm>
+
+#include "anomaly/foreign.hpp"
+#include "seq/stats.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+
+MfsBuilder::MfsBuilder(const SubsequenceOracle& oracle, MfsConfig config)
+    : oracle_(&oracle), config_(config) {
+    require(config_.rare_threshold > 0.0 && config_.rare_threshold < 1.0,
+            "rare threshold must be in (0,1)");
+}
+
+std::vector<Sequence> MfsBuilder::pair_candidates(std::size_t limit) const {
+    std::vector<Sequence> out;
+    const std::size_t n = oracle_->training().alphabet_size();
+    const NgramTable& pairs = oracle_->table(2);
+    for (Symbol a = 0; a < n && out.size() < limit; ++a) {
+        if (!oracle_->present(Sequence{a})) continue;
+        for (Symbol b = 0; b < n && out.size() < limit; ++b) {
+            if (!oracle_->present(Sequence{b})) continue;
+            const Sequence cand{a, b};
+            if (!pairs.contains(cand)) out.push_back(cand);
+        }
+    }
+    return out;
+}
+
+std::vector<Sequence> MfsBuilder::candidates(std::size_t size,
+                                             std::size_t limit) const {
+    require(size >= 2, "a minimal foreign sequence has size >= 2 (a size-1 "
+                       "foreign element would have to be foreign and rare at "
+                       "once, which is impossible)");
+    if (limit == 0) return {};
+    if (size == 2) return pair_candidates(limit);
+
+    const std::size_t piece_len = size - 1;
+    const NgramTable& piece_table = oracle_->table(piece_len);
+    const NgramTable& whole_table = oracle_->table(size);
+
+    // Prefix pieces, rarest first for deterministic, rare-biased search.
+    std::vector<Sequence> prefixes;
+    if (config_.require_rare_composition) {
+        for (auto& rg : rare_grams(piece_table, config_.rare_threshold))
+            prefixes.push_back(std::move(rg.gram));
+    } else {
+        auto items = piece_table.items_by_count();
+        std::reverse(items.begin(), items.end());  // ascending count
+        prefixes.reserve(items.size());
+        for (auto& [gram, count] : items) {
+            (void)count;
+            prefixes.push_back(std::move(gram));
+        }
+    }
+
+    const std::size_t n = oracle_->training().alphabet_size();
+    std::vector<Sequence> out;
+    Sequence cand(size);
+    for (const Sequence& prefix : prefixes) {
+        std::copy(prefix.begin(), prefix.end(), cand.begin());
+        for (Symbol y = 0; y < n; ++y) {
+            cand[size - 1] = y;
+            if (whole_table.contains(cand)) continue;  // not foreign
+            const SymbolView suffix = SymbolView(cand).subspan(1, piece_len);
+            if (!oracle_->present(suffix)) continue;   // not minimal
+            if (config_.require_rare_composition &&
+                !oracle_->rare(suffix, config_.rare_threshold))
+                continue;                              // not rare-composed
+            out.push_back(cand);
+            if (out.size() >= limit) return out;
+        }
+    }
+    return out;
+}
+
+Sequence MfsBuilder::build(std::size_t size) const {
+    auto found = candidates(size, 1);
+    if (found.empty())
+        throw SynthesisError(
+            "no minimal foreign sequence of size " + std::to_string(size) +
+            " is constructible from this training corpus");
+    ADIV_ASSERT(is_minimal_foreign(*oracle_, found.front()));
+    return std::move(found.front());
+}
+
+}  // namespace adiv

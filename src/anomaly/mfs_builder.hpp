@@ -1,0 +1,61 @@
+// Synthesis of minimal foreign sequences composed of rare sub-sequences.
+//
+// The paper composes its anomalies by "concatenating short, rare sequences
+// from the training trace" (Section 5.4.2): the result is likely foreign,
+// easy to verify for foreign-ness and minimality, and — being made of rare
+// pieces — detectable in principle by probabilistic detectors even at window
+// sizes smaller than the anomaly.
+//
+// The builder searches rather than hand-shapes: it extends rare present
+// (N-1)-grams by one symbol and keeps extensions that are (a) absent as a
+// whole from training, (b) minimal (the new suffix window is present), and
+// (c) rare-composed (prefix and suffix windows are rare) when N >= 3. For
+// N = 2 the pieces are single symbols, which can never be rare in this
+// corpus (the paper makes the same observation for N = 1 being impossible),
+// so only foreign-ness and element presence are required.
+//
+// Candidates are produced in a deterministic order — rarest prefix first,
+// then smallest extension symbol — so a given corpus always yields the same
+// anomalies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "anomaly/subsequence_oracle.hpp"
+#include "seq/types.hpp"
+
+namespace adiv {
+
+struct MfsConfig {
+    /// Rarity cutoff for the composed pieces (Warrender's 0.5%).
+    double rare_threshold = 0.005;
+    /// Require the prefix/suffix windows to be rare (sizes >= 3).
+    bool require_rare_composition = true;
+};
+
+class MfsBuilder {
+public:
+    /// The oracle (and its training stream) must outlive the builder.
+    explicit MfsBuilder(const SubsequenceOracle& oracle, MfsConfig config = {});
+
+    /// Up to `limit` distinct minimal foreign sequences of the given size,
+    /// deterministic order. size must be >= 2. May return fewer (or none)
+    /// when the corpus does not admit them.
+    [[nodiscard]] std::vector<Sequence> candidates(std::size_t size,
+                                                   std::size_t limit) const;
+
+    /// First candidate of the given size. Throws SynthesisError when the
+    /// corpus admits none.
+    [[nodiscard]] Sequence build(std::size_t size) const;
+
+    [[nodiscard]] const MfsConfig& config() const noexcept { return config_; }
+
+private:
+    const SubsequenceOracle* oracle_;
+    MfsConfig config_;
+
+    [[nodiscard]] std::vector<Sequence> pair_candidates(std::size_t limit) const;
+};
+
+}  // namespace adiv

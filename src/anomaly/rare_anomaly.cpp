@@ -1,0 +1,130 @@
+#include "anomaly/rare_anomaly.hpp"
+
+#include "seq/stats.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+
+RareAnomalyBuilder::RareAnomalyBuilder(const SubsequenceOracle& oracle,
+                                       double rare_threshold)
+    : oracle_(&oracle), rare_threshold_(rare_threshold) {
+    require(rare_threshold > 0.0 && rare_threshold < 1.0,
+            "rare threshold must be in (0,1)");
+}
+
+std::vector<Sequence> RareAnomalyBuilder::candidates(std::size_t size,
+                                                     std::size_t limit) const {
+    require(size >= 2, "rare anomalies have size >= 2 (single symbols of a "
+                       "small alphabet cannot be rare)");
+    std::vector<Sequence> out;
+    if (limit == 0) return out;
+    for (RareGram& rg : rare_grams(oracle_->table(size), rare_threshold_)) {
+        out.push_back(std::move(rg.gram));
+        if (out.size() >= limit) break;
+    }
+    return out;
+}
+
+Sequence RareAnomalyBuilder::build(std::size_t size) const {
+    auto found = candidates(size, 1);
+    if (found.empty())
+        throw SynthesisError("no rare sequence of size " + std::to_string(size) +
+                             " exists in this training corpus");
+    return std::move(found.front());
+}
+
+RareInjector::RareInjector(const TrainingCorpus& corpus,
+                           const SubsequenceOracle& oracle)
+    : corpus_(&corpus), oracle_(&oracle) {
+    require(&oracle.training() == &corpus.training(),
+            "oracle must be built over the corpus training stream");
+}
+
+std::string RareInjector::validate(const EventStream& stream,
+                                   std::size_t anomaly_pos,
+                                   std::size_t anomaly_size,
+                                   std::size_t window_length) const {
+    const double rare = corpus_->spec().rare_threshold;
+    const IncidentSpan span =
+        incident_span(anomaly_pos, anomaly_size, window_length, stream.size());
+    const NgramTable& table = oracle_->table(window_length);
+    const double total = static_cast<double>(table.total());
+
+    bool any_rare_in_span = false;
+    const std::size_t windows = stream.window_count(window_length);
+    for (std::size_t pos = 0; pos < windows; ++pos) {
+        const SymbolView w = stream.window(pos, window_length);
+        const std::uint64_t count = table.count(w);
+        if (count == 0)
+            return "window at " + std::to_string(pos) +
+                   " is foreign; a rare-anomaly stream must contain no foreign "
+                   "windows";
+        const double freq = static_cast<double>(count) / total;
+        if (span.contains(pos)) {
+            if (freq < rare) any_rare_in_span = true;
+            if (window_covers_anomaly(pos, window_length, anomaly_pos,
+                                      anomaly_size) &&
+                freq >= rare)
+                return "window at " + std::to_string(pos) +
+                       " covers the whole anomaly yet is common";
+        } else if (freq < rare) {
+            return "background window at " + std::to_string(pos) +
+                   " is an unintended rare sequence";
+        }
+    }
+    if (!any_rare_in_span)
+        return "no incident-span window is rare at this window length; the "
+               "anomaly is invisible in principle";
+    return {};
+}
+
+std::optional<InjectedStream> RareInjector::try_inject(
+    SymbolView anomaly, std::size_t window_length,
+    std::size_t background_length) const {
+    require(!anomaly.empty(), "anomaly must be non-empty");
+    require(window_length >= 2, "window length must be at least 2");
+    const std::size_t n = corpus_->spec().alphabet_size;
+    require(background_length >= anomaly.size() + 4 * window_length + 2 * n,
+            "background too short to host the anomaly and its boundaries");
+
+    const std::size_t left_len = (background_length - anomaly.size()) / 2;
+    const std::size_t right_len = background_length - anomaly.size() - left_len;
+
+    auto preferred_first = [n](Symbol preferred) {
+        std::vector<Symbol> order;
+        order.reserve(n);
+        for (std::size_t k = 0; k < n; ++k)
+            order.push_back(static_cast<Symbol>((preferred + k) % n));
+        return order;
+    };
+    auto left_start_for_end = [&](Symbol end) {
+        const std::size_t shift = (left_len - 1) % n;
+        return static_cast<Symbol>((end + n - shift) % n);
+    };
+    const Symbol want_left_end =
+        static_cast<Symbol>((anomaly.front() + n - 1) % n);
+    const Symbol want_right_start = corpus_->cycle_successor(anomaly.back());
+
+    for (Symbol left_end : preferred_first(want_left_end)) {
+        for (Symbol right_start : preferred_first(want_right_start)) {
+            EventStream stream =
+                corpus_->background(left_len, left_start_for_end(left_end));
+            stream.append(anomaly);
+            const EventStream right = corpus_->background(right_len, right_start);
+            stream.append(right.view());
+            if (!validate(stream, left_len, anomaly.size(), window_length).empty())
+                continue;
+            InjectedStream out;
+            out.anomaly_pos = left_len;
+            out.anomaly_size = anomaly.size();
+            out.window_length = window_length;
+            out.span = incident_span(left_len, anomaly.size(), window_length,
+                                     stream.size());
+            out.stream = std::move(stream);
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace adiv

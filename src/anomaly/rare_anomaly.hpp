@@ -1,0 +1,78 @@
+// Rare-sequence anomalies — the second anomaly type the paper discusses but
+// does not chart (Section 5.1: "Rare sequences are detectable by some
+// detectors, e.g., Markov-based detectors, but are not detectable by others,
+// e.g., Stide and the Lane and Brodley detector").
+//
+// A rare anomaly is a sequence that DOES occur in training, but with
+// relative frequency below the rarity cutoff. Injected into clean background
+// it produces no foreign window at any length, so:
+//   * Stide and L&B are blind to it everywhere (every window is in their
+//     normal database);
+//   * frequency- and probability-based detectors (t-Stide, Markov, NN, HMM,
+//     rule) can still register it.
+// The ext_rare_anomalies bench charts exactly that contrast.
+//
+// Injection validity for a rare anomaly differs from the MFS case: NO window
+// of the stream may be foreign, every window that covers the whole anomaly
+// must be rare (the event stays anomalous at that window length), at least
+// one incident-span window must be rare at the evaluated window length, and
+// windows outside the span must be common.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anomaly/injection.hpp"
+#include "anomaly/subsequence_oracle.hpp"
+#include "datagen/corpus.hpp"
+#include "seq/types.hpp"
+
+namespace adiv {
+
+class RareAnomalyBuilder {
+public:
+    /// The oracle (and its training stream) must outlive the builder.
+    explicit RareAnomalyBuilder(const SubsequenceOracle& oracle,
+                                double rare_threshold = 0.005);
+
+    /// Up to `limit` present-but-rare sequences of the given size, rarest
+    /// first (deterministic). size must be >= 2.
+    [[nodiscard]] std::vector<Sequence> candidates(std::size_t size,
+                                                   std::size_t limit) const;
+
+    /// First candidate; throws SynthesisError when the corpus has no rare
+    /// sequence of that size.
+    [[nodiscard]] Sequence build(std::size_t size) const;
+
+    [[nodiscard]] double rare_threshold() const noexcept { return rare_threshold_; }
+
+private:
+    const SubsequenceOracle* oracle_;
+    double rare_threshold_;
+};
+
+/// Injects a rare anomaly into clean background; same placement search as
+/// Injector but with the rare-anomaly validity rules above.
+class RareInjector {
+public:
+    RareInjector(const TrainingCorpus& corpus, const SubsequenceOracle& oracle);
+
+    [[nodiscard]] std::optional<InjectedStream> try_inject(
+        SymbolView anomaly, std::size_t window_length,
+        std::size_t background_length = 4096) const;
+
+    /// Empty string when the stream satisfies the rare-anomaly conditions,
+    /// otherwise the first violation.
+    [[nodiscard]] std::string validate(const EventStream& stream,
+                                       std::size_t anomaly_pos,
+                                       std::size_t anomaly_size,
+                                       std::size_t window_length) const;
+
+private:
+    const TrainingCorpus* corpus_;
+    const SubsequenceOracle* oracle_;
+};
+
+}  // namespace adiv

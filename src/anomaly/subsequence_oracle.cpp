@@ -1,0 +1,23 @@
+#include "anomaly/subsequence_oracle.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+SubsequenceOracle::SubsequenceOracle(const EventStream& training)
+    : training_(&training) {
+    require_data(!training.empty(), "subsequence oracle needs a non-empty stream");
+}
+
+const NgramTable& SubsequenceOracle::table(std::size_t length) const {
+    require(length > 0, "window length must be positive");
+    auto it = tables_.find(length);
+    if (it == tables_.end()) {
+        auto built = std::make_unique<NgramTable>(
+            NgramTable::from_stream(*training_, length));
+        it = tables_.emplace(length, std::move(built)).first;
+    }
+    return *it->second;
+}
+
+}  // namespace adiv

@@ -1,0 +1,73 @@
+// The full evaluation suite of Section 5.4: one test stream per
+// (anomaly size, detector window) pair.
+//
+// The paper builds 8 anomalies (minimal foreign sequences of sizes 2..9) and
+// replicates each across detector windows 2..15, giving 112 test streams.
+// Within one anomaly size the same MFS is reused across windows; each
+// stream's injection is validated for its own window length. When a
+// candidate anomaly cannot be injected cleanly for some window, the builder
+// moves on to the next candidate ("a new anomaly must be produced as a
+// replacement, and the process repeated").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "anomaly/injection.hpp"
+#include "anomaly/mfs_builder.hpp"
+#include "datagen/corpus.hpp"
+
+namespace adiv {
+
+struct SuiteConfig {
+    std::size_t min_anomaly_size = 2;
+    std::size_t max_anomaly_size = 9;
+    std::size_t min_window = 2;
+    std::size_t max_window = 15;
+    std::size_t background_length = 4096;
+    /// MFS candidates tried per anomaly size before giving up.
+    std::size_t candidate_limit = 64;
+    MfsConfig mfs;
+};
+
+class EvaluationSuite {
+public:
+    struct Entry {
+        std::size_t anomaly_size = 0;
+        std::size_t window_length = 0;
+        InjectedStream stream;
+    };
+
+    /// Synthesizes anomalies and builds all test streams. Throws
+    /// SynthesisError when some anomaly size admits no injectable MFS.
+    /// The corpus must outlive the suite.
+    static EvaluationSuite build(const TrainingCorpus& corpus, SuiteConfig config = {});
+
+    [[nodiscard]] const SuiteConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const TrainingCorpus& corpus() const noexcept { return *corpus_; }
+
+    /// The test stream for one (AS, DW) cell.
+    [[nodiscard]] const Entry& entry(std::size_t anomaly_size,
+                                     std::size_t window_length) const;
+
+    /// The MFS used for all windows of one anomaly size.
+    [[nodiscard]] const Sequence& anomaly(std::size_t anomaly_size) const;
+
+    [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+    [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+
+    [[nodiscard]] std::vector<std::size_t> anomaly_sizes() const;
+    [[nodiscard]] std::vector<std::size_t> window_lengths() const;
+
+private:
+    EvaluationSuite() = default;
+
+    SuiteConfig config_;
+    const TrainingCorpus* corpus_ = nullptr;
+    std::map<std::size_t, Sequence> anomalies_;             // by anomaly size
+    std::vector<Entry> entries_;                            // all cells
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> index_;  // (as,dw)->idx
+};
+
+}  // namespace adiv

@@ -1,0 +1,69 @@
+#include "core/alarms.hpp"
+
+#include "util/table.hpp"
+
+namespace adiv {
+
+std::vector<AlarmEvent> extract_alarm_events(std::span<const double> responses,
+                                             double threshold) {
+    std::vector<AlarmEvent> events;
+    bool in_event = false;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        const bool alarming = responses[i] >= threshold;
+        if (alarming && !in_event) {
+            AlarmEvent e;
+            e.first_window = e.last_window = e.peak_window = i;
+            e.peak_response = responses[i];
+            events.push_back(e);
+            in_event = true;
+        } else if (alarming) {
+            AlarmEvent& e = events.back();
+            e.last_window = i;
+            if (responses[i] > e.peak_response) {
+                e.peak_response = responses[i];
+                e.peak_window = i;
+            }
+        } else {
+            in_event = false;
+        }
+    }
+    return events;
+}
+
+std::string render_alarm_report(const std::vector<AlarmEvent>& events,
+                                const EventStream* stream,
+                                std::size_t window_length,
+                                const Alphabet* alphabet) {
+    if (events.empty()) return "no alarms\n";
+    TextTable table;
+    const bool with_context = stream != nullptr && window_length > 0;
+    if (with_context) {
+        table.header({"event", "windows", "span", "peak", "peak window contents"});
+    } else {
+        table.header({"event", "windows", "span", "peak"});
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const AlarmEvent& e = events[i];
+        const std::string span =
+            std::to_string(e.first_window) + ".." + std::to_string(e.last_window);
+        if (with_context && e.peak_window + window_length <= stream->size()) {
+            const SymbolView w = stream->window(e.peak_window, window_length);
+            std::string contents;
+            if (alphabet != nullptr) {
+                contents = alphabet->format(w);
+            } else {
+                for (std::size_t k = 0; k < w.size(); ++k) {
+                    if (k != 0) contents.push_back(' ');
+                    contents += std::to_string(w[k]);
+                }
+            }
+            table.add(i + 1, e.window_count(), span, fixed(e.peak_response, 3),
+                      contents);
+        } else {
+            table.add(i + 1, e.window_count(), span, fixed(e.peak_response, 3));
+        }
+    }
+    return table.render();
+}
+
+}  // namespace adiv

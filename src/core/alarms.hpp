@@ -1,0 +1,43 @@
+// Alarm events: the operator-facing view of detector responses.
+//
+// A response vector is a per-window signal; what an operator acts on is a
+// contiguous BURST of alarming windows — one incident, however many windows
+// it lights up. extract_alarm_events groups threshold crossings into events
+// with their peak evidence; the report renderer prints them with optional
+// symbol context.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "seq/alphabet.hpp"
+
+namespace adiv {
+
+struct AlarmEvent {
+    std::size_t first_window = 0;  ///< first alarming window position
+    std::size_t last_window = 0;   ///< last alarming window position (inclusive)
+    double peak_response = 0.0;    ///< strongest response within the event
+    std::size_t peak_window = 0;   ///< window position of the peak
+
+    [[nodiscard]] std::size_t window_count() const noexcept {
+        return last_window - first_window + 1;
+    }
+};
+
+/// Groups consecutive responses at or above `threshold` into events.
+std::vector<AlarmEvent> extract_alarm_events(std::span<const double> responses,
+                                             double threshold = kMaximalResponse);
+
+/// Renders the events as an aligned table. When stream and window_length are
+/// provided, each event row includes the symbols of its peak window
+/// (formatted through `alphabet` when given, ids otherwise).
+std::string render_alarm_report(const std::vector<AlarmEvent>& events,
+                                const EventStream* stream = nullptr,
+                                std::size_t window_length = 0,
+                                const Alphabet* alphabet = nullptr);
+
+}  // namespace adiv

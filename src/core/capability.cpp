@@ -1,0 +1,136 @@
+#include "core/capability.hpp"
+
+#include <algorithm>
+
+#include "anomaly/rare_anomaly.hpp"
+#include "anomaly/subsequence_oracle.hpp"
+#include "core/response.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+
+std::string to_string(ManifestationClass c) {
+    switch (c) {
+        case ManifestationClass::Common: return "common";
+        case ManifestationClass::Rare: return "rare";
+        case ManifestationClass::Foreign: return "foreign";
+    }
+    ADIV_ASSERT(false && "unreachable manifestation class");
+    return {};
+}
+
+std::string to_string(CapabilityVerdict v) {
+    switch (v) {
+        case CapabilityVerdict::NotAnomalous: return "not-anomalous";
+        case CapabilityVerdict::NotDetectable: return "not-detectable";
+        case CapabilityVerdict::DetectableMistuned: return "detectable-mistuned";
+        case CapabilityVerdict::Detected: return "detected";
+        case CapabilityVerdict::Inconclusive: return "inconclusive";
+    }
+    ADIV_ASSERT(false && "unreachable verdict");
+    return {};
+}
+
+CapabilityDiagnosis diagnose_capability(const TrainingCorpus& corpus,
+                                        const DetectorFactory& factory,
+                                        SymbolView manifestation,
+                                        const CapabilityQuery& query) {
+    require(manifestation.size() >= 2, "manifestation must have length >= 2");
+    require(query.min_window >= 2 && query.min_window <= query.max_window,
+            "invalid window range");
+    require(query.deployed_window >= query.min_window &&
+                query.deployed_window <= query.max_window,
+            "deployed window outside the evaluated range");
+
+    CapabilityDiagnosis out;
+    const SubsequenceOracle oracle(corpus.training());
+    const double rare = corpus.spec().rare_threshold;
+
+    // Question C: is the manifestation anomalous with respect to training?
+    if (!oracle.present(manifestation)) {
+        out.manifestation = ManifestationClass::Foreign;
+    } else if (oracle.rare(manifestation, rare)) {
+        out.manifestation = ManifestationClass::Rare;
+    } else {
+        out.manifestation = ManifestationClass::Common;
+        out.verdict = CapabilityVerdict::NotAnomalous;
+        out.explanation =
+            "C: the manifestation is a common training sequence — it is not "
+            "anomalous, so no anomaly detector can be expected to flag it "
+            "(Figure 1: attack not detectable by this means).";
+        return out;
+    }
+
+    // Questions D and E: place the manifestation in validated test data per
+    // window and score the detector.
+    const Injector foreign_injector(corpus, oracle);
+    const RareInjector rare_injector(corpus, oracle);
+    for (std::size_t dw = query.min_window; dw <= query.max_window; ++dw) {
+        std::optional<InjectedStream> injected;
+        if (out.manifestation == ManifestationClass::Foreign) {
+            injected = foreign_injector.try_inject(manifestation, dw,
+                                                   query.background_length);
+        } else {
+            injected = rare_injector.try_inject(manifestation, dw,
+                                                query.background_length);
+        }
+        if (!injected) {
+            out.unplaceable_windows.push_back(dw);
+            continue;
+        }
+        auto detector = factory(dw);
+        require(detector != nullptr, "detector factory returned null");
+        detector->train(corpus.training());
+        const SpanScore score =
+            classify_span(detector->score(injected->stream), injected->span);
+        if (score.outcome == DetectionOutcome::Capable)
+            out.detecting_windows.push_back(dw);
+    }
+
+    const std::size_t evaluated = query.max_window - query.min_window + 1;
+    if (out.unplaceable_windows.size() == evaluated) {
+        out.verdict = CapabilityVerdict::Inconclusive;
+        out.explanation =
+            "C: the manifestation is " + to_string(out.manifestation) +
+            ", but no boundary-clean test stream could be built at any "
+            "evaluated window; the manifestation's structure clashes with the "
+            "background (try a different background or a derived anomaly).";
+        return out;
+    }
+    if (out.detecting_windows.empty()) {
+        out.verdict = CapabilityVerdict::NotDetectable;
+        out.explanation =
+            "C: the manifestation is " + to_string(out.manifestation) +
+            " (anomalous). D: the detector produced no maximal in-span "
+            "response at any evaluated window — this kind of anomaly lies "
+            "outside its detection coverage; pair it with a detector that "
+            "covers this region.";
+        return out;
+    }
+    const bool deployed_detects =
+        std::find(out.detecting_windows.begin(), out.detecting_windows.end(),
+                  query.deployed_window) != out.detecting_windows.end();
+    if (deployed_detects) {
+        out.verdict = CapabilityVerdict::Detected;
+        out.explanation =
+            "C: anomalous (" + to_string(out.manifestation) +
+            "). D: detectable. E: the deployed window " +
+            std::to_string(query.deployed_window) +
+            " registers a maximal response — attack detected.";
+    } else {
+        out.verdict = CapabilityVerdict::DetectableMistuned;
+        std::string windows;
+        for (std::size_t dw : out.detecting_windows)
+            windows += (windows.empty() ? "" : ", ") + std::to_string(dw);
+        out.explanation =
+            "C: anomalous (" + to_string(out.manifestation) +
+            "). D: detectable. E: NOT at the deployed window " +
+            std::to_string(query.deployed_window) +
+            "; detecting windows are {" + windows +
+            "} — an incorrect parameter choice has blinded the detector "
+            "(Figure 1, question E).";
+    }
+    return out;
+}
+
+}  // namespace adiv

@@ -1,0 +1,73 @@
+// Capability diagnosis: the paper's Figure 1 as an executable procedure.
+//
+// Figure 1 asks, for a given attack manifestation and detector:
+//   C. Is the manifestation anomalous (with respect to training)?
+//   D. Is that kind of anomaly detectable by the detector in question?
+//   E. Is the detector correctly tuned (window size) to detect it?
+// (Questions A and B — does the attack manifest in the monitored data at
+// all — are the data-collection layer's concern; the caller hands us the
+// manifestation, so they are answered by construction.)
+//
+// diagnose_capability() walks those questions empirically: it classifies the
+// manifestation as foreign / rare / common against the training stream,
+// builds validated test data for each candidate window, scores the detector,
+// and reports which windows (if any) detect — separating "not anomalous"
+// from "anomalous but outside this detector's coverage" from "detectable,
+// but not at the window you deployed".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/corpus.hpp"
+#include "detect/detector.hpp"
+
+namespace adiv {
+
+enum class ManifestationClass {
+    Common,   ///< occurs in training at/above the rarity cutoff
+    Rare,     ///< occurs in training below the rarity cutoff
+    Foreign,  ///< never occurs in training
+};
+
+std::string to_string(ManifestationClass c);
+
+enum class CapabilityVerdict {
+    NotAnomalous,       ///< Figure 1, C = no: beyond any anomaly detector
+    NotDetectable,      ///< C = yes, D = no: no evaluated window detects
+    DetectableMistuned, ///< D = yes, E = no: some window detects, not the deployed one
+    Detected,           ///< D = yes, E = yes
+    Inconclusive,       ///< the manifestation could not be placed in test data
+};
+
+std::string to_string(CapabilityVerdict v);
+
+struct CapabilityDiagnosis {
+    ManifestationClass manifestation = ManifestationClass::Common;
+    CapabilityVerdict verdict = CapabilityVerdict::Inconclusive;
+    /// Windows (within the evaluated range) at which the detector registered
+    /// a maximal response in the incident span.
+    std::vector<std::size_t> detecting_windows;
+    /// Windows for which no valid injection could be constructed.
+    std::vector<std::size_t> unplaceable_windows;
+    /// Human-readable walk through the Figure 1 questions.
+    std::string explanation;
+};
+
+struct CapabilityQuery {
+    std::size_t deployed_window = 6;   ///< the DW the defender runs (question E)
+    std::size_t min_window = 2;        ///< evaluated window range (question D)
+    std::size_t max_window = 12;
+    std::size_t background_length = 2048;
+};
+
+/// Diagnoses one detector family (via its factory) against one manifestation
+/// on the study corpus. The factory is invoked per window; detectors are
+/// trained on corpus.training().
+CapabilityDiagnosis diagnose_capability(const TrainingCorpus& corpus,
+                                        const DetectorFactory& factory,
+                                        SymbolView manifestation,
+                                        const CapabilityQuery& query = {});
+
+}  // namespace adiv

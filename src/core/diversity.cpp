@@ -1,0 +1,57 @@
+#include "core/diversity.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+PairwiseDiversity analyze_pair(const PerformanceMap& a, const PerformanceMap& b) {
+    require(a.anomaly_sizes() == b.anomaly_sizes() &&
+                a.window_lengths() == b.window_lengths(),
+            "diversity analysis requires maps over the same grid");
+    const CoverageSet ca = CoverageSet::capable_cells(a);
+    const CoverageSet cb = CoverageSet::capable_cells(b);
+    PairwiseDiversity d;
+    d.detector_a = a.detector_name();
+    d.detector_b = b.detector_name();
+    d.coverage_a = ca.size();
+    d.coverage_b = cb.size();
+    d.overlap = ca.intersect(cb).size();
+    d.union_size = ca.unite(cb).size();
+    d.gain_b_adds_to_a = cb.subtract(ca).size();
+    d.gain_a_adds_to_b = ca.subtract(cb).size();
+    d.a_subset_of_b = ca.subset_of(cb);
+    d.b_subset_of_a = cb.subset_of(ca);
+    d.jaccard = ca.jaccard(cb);
+    return d;
+}
+
+std::vector<PairwiseDiversity> analyze_all_pairs(
+    const std::vector<const PerformanceMap*>& maps) {
+    std::vector<PairwiseDiversity> out;
+    for (std::size_t i = 0; i < maps.size(); ++i)
+        for (std::size_t j = i + 1; j < maps.size(); ++j)
+            out.push_back(analyze_pair(*maps[i], *maps[j]));
+    return out;
+}
+
+std::string describe_pair(const PairwiseDiversity& d) {
+    const std::string a = d.detector_a;
+    const std::string b = d.detector_b;
+    if (d.coverage_a == 0 && d.coverage_b == 0)
+        return a + " and " + b + ": neither detects anywhere; combining gains nothing";
+    if (d.a_subset_of_b && d.b_subset_of_a)
+        return a + " = " + b + ": identical coverage; combining gains nothing";
+    if (d.a_subset_of_b)
+        return a + " c " + b + " (subset): combining adds no coverage beyond " +
+               b + " alone";
+    if (d.b_subset_of_a)
+        return b + " c " + a + " (subset): combining adds no coverage beyond " +
+               a + " alone";
+    return a + " and " + b + " overlap on " + std::to_string(d.overlap) +
+           " cells; union gains " +
+           std::to_string(d.union_size -
+                          std::max(d.coverage_a, d.coverage_b)) +
+           " cells over the better detector";
+}
+
+}  // namespace adiv

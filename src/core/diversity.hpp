@@ -1,0 +1,43 @@
+// Diversity metrics between detector coverages.
+//
+// "Diversity, then, enhances detection coverage by combining the coverages of
+// individual detectors" — the question the paper measures is how much, and
+// where. These metrics quantify pairwise relations between two performance
+// maps: overlap, subset structure, and the marginal coverage gained by adding
+// one detector to another.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "core/perf_map.hpp"
+
+namespace adiv {
+
+struct PairwiseDiversity {
+    std::string detector_a;
+    std::string detector_b;
+    std::size_t coverage_a = 0;       ///< |capable(A)|
+    std::size_t coverage_b = 0;       ///< |capable(B)|
+    std::size_t overlap = 0;          ///< |A ∩ B|
+    std::size_t union_size = 0;       ///< |A ∪ B|
+    std::size_t gain_b_adds_to_a = 0; ///< |B \ A| — cells B contributes
+    std::size_t gain_a_adds_to_b = 0; ///< |A \ B|
+    bool a_subset_of_b = false;
+    bool b_subset_of_a = false;
+    double jaccard = 0.0;
+};
+
+/// Pairwise analysis of two maps over the same grid.
+PairwiseDiversity analyze_pair(const PerformanceMap& a, const PerformanceMap& b);
+
+/// All pairwise analyses for a collection of maps (i < j order).
+std::vector<PairwiseDiversity> analyze_all_pairs(
+    const std::vector<const PerformanceMap*>& maps);
+
+/// Human-readable one-line verdict for a pair, e.g.
+/// "stide ⊂ markov: combining adds no coverage beyond markov alone".
+std::string describe_pair(const PairwiseDiversity& d);
+
+}  // namespace adiv

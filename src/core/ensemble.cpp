@@ -1,0 +1,104 @@
+#include "core/ensemble.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+CoverageSet CoverageSet::capable_cells(const PerformanceMap& map) {
+    CoverageSet out;
+    for (std::size_t as : map.anomaly_sizes()) {
+        for (std::size_t dw : map.window_lengths()) {
+            if (map.has(as, dw) &&
+                map.at(as, dw).outcome == DetectionOutcome::Capable)
+                out.insert(as, dw);
+        }
+    }
+    return out;
+}
+
+void CoverageSet::insert(std::size_t anomaly_size, std::size_t window_length) {
+    cells_.emplace(anomaly_size, window_length);
+}
+
+bool CoverageSet::contains(std::size_t anomaly_size,
+                           std::size_t window_length) const noexcept {
+    return cells_.contains({anomaly_size, window_length});
+}
+
+CoverageSet CoverageSet::unite(const CoverageSet& other) const {
+    CoverageSet out = *this;
+    out.cells_.insert(other.cells_.begin(), other.cells_.end());
+    return out;
+}
+
+CoverageSet CoverageSet::intersect(const CoverageSet& other) const {
+    CoverageSet out;
+    std::set_intersection(cells_.begin(), cells_.end(), other.cells_.begin(),
+                          other.cells_.end(),
+                          std::inserter(out.cells_, out.cells_.end()));
+    return out;
+}
+
+CoverageSet CoverageSet::subtract(const CoverageSet& other) const {
+    CoverageSet out;
+    std::set_difference(cells_.begin(), cells_.end(), other.cells_.begin(),
+                        other.cells_.end(),
+                        std::inserter(out.cells_, out.cells_.end()));
+    return out;
+}
+
+bool CoverageSet::subset_of(const CoverageSet& other) const {
+    return std::includes(other.cells_.begin(), other.cells_.end(), cells_.begin(),
+                         cells_.end());
+}
+
+double CoverageSet::jaccard(const CoverageSet& other) const {
+    const std::size_t union_size = unite(other).size();
+    if (union_size == 0) return 1.0;
+    return static_cast<double>(intersect(other).size()) /
+           static_cast<double>(union_size);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> CoverageSet::cells() const {
+    return {cells_.begin(), cells_.end()};
+}
+
+std::string render_coverage(const CoverageSet& coverage, const std::string& title,
+                            const std::vector<std::size_t>& anomaly_sizes,
+                            const std::vector<std::size_t>& window_lengths) {
+    std::ostringstream out;
+    out << title << '\n';
+    for (auto it = window_lengths.rbegin(); it != window_lengths.rend(); ++it) {
+        const std::size_t dw = *it;
+        out << (dw < 10 ? "  " : " ") << dw << " |  u";
+        for (std::size_t as : anomaly_sizes)
+            out << "  " << (coverage.contains(as, dw) ? '*' : '.');
+        out << '\n';
+    }
+    out << " DW +" << std::string(3 * (anomaly_sizes.size() + 1), '-') << '\n';
+    out << "       1";
+    for (std::size_t as : anomaly_sizes) out << (as < 10 ? "  " : " ") << as;
+    out << "  AS\n";
+    return out.str();
+}
+
+std::vector<double> combine_alarms(std::span<const double> a,
+                                   std::span<const double> b, CombineMode mode,
+                                   double threshold) {
+    require(a.size() == b.size(),
+            "alarm combination requires responses over the same windows");
+    std::vector<double> out(a.size(), 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const bool alarm_a = a[i] >= threshold;
+        const bool alarm_b = b[i] >= threshold;
+        const bool combined =
+            mode == CombineMode::Or ? (alarm_a || alarm_b) : (alarm_a && alarm_b);
+        out[i] = combined ? 1.0 : 0.0;
+    }
+    return out;
+}
+
+}  // namespace adiv

@@ -1,0 +1,74 @@
+// Combining diverse detectors (Sections 7-8).
+//
+// Two levels of combination are studied:
+//
+//   * COVERAGE algebra over performance maps — which (AS, DW) cells does a
+//     detector detect, and what do union/intersection/subset relations say
+//     about combining detectors? (Stide's coverage is a subset of the Markov
+//     detector's; Stide ∪ L&B adds nothing over Stide alone.)
+//
+//   * ALARM combination on a single stream — OR to widen coverage, AND to
+//     suppress false alarms (the paper's Markov-with-Stide-as-suppressor
+//     scheme: alarms raised by Markov but not Stide may be dismissed).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/perf_map.hpp"
+
+namespace adiv {
+
+/// A set of (anomaly size, detector window) cells a detector detects.
+class CoverageSet {
+public:
+    CoverageSet() = default;
+
+    /// The capable cells of a performance map.
+    static CoverageSet capable_cells(const PerformanceMap& map);
+
+    void insert(std::size_t anomaly_size, std::size_t window_length);
+    [[nodiscard]] bool contains(std::size_t anomaly_size,
+                                std::size_t window_length) const noexcept;
+
+    [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+
+    [[nodiscard]] CoverageSet unite(const CoverageSet& other) const;
+    [[nodiscard]] CoverageSet intersect(const CoverageSet& other) const;
+    [[nodiscard]] CoverageSet subtract(const CoverageSet& other) const;
+
+    [[nodiscard]] bool subset_of(const CoverageSet& other) const;
+
+    /// |A ∩ B| / |A ∪ B|; 1.0 when both are empty.
+    [[nodiscard]] double jaccard(const CoverageSet& other) const;
+
+    /// Sorted (as, dw) pairs.
+    [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> cells() const;
+
+private:
+    std::set<std::pair<std::size_t, std::size_t>> cells_;
+};
+
+/// Renders a coverage set on the suite grid, same style as PerformanceMap.
+std::string render_coverage(const CoverageSet& coverage, const std::string& title,
+                            const std::vector<std::size_t>& anomaly_sizes,
+                            const std::vector<std::size_t>& window_lengths);
+
+enum class CombineMode {
+    Or,   ///< alarm when either detector alarms (coverage union)
+    And,  ///< alarm only when both alarm (false-alarm suppression)
+};
+
+/// Combines two per-window response vectors into 0/1 alarms. Responses at or
+/// above `threshold` count as alarms. The vectors must be the same length
+/// (same stream, same window length).
+std::vector<double> combine_alarms(std::span<const double> a,
+                                   std::span<const double> b, CombineMode mode,
+                                   double threshold);
+
+}  // namespace adiv

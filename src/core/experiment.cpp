@@ -1,0 +1,35 @@
+#include "core/experiment.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+SpanScore score_entry(const SequenceDetector& detector,
+                      const EvaluationSuite::Entry& entry) {
+    require(detector.window_length() == entry.window_length,
+            "detector window does not match suite entry window");
+    const std::vector<double> responses = detector.score(entry.stream.stream);
+    return classify_span(responses, entry.stream.span);
+}
+
+PerformanceMap run_map_experiment(const EvaluationSuite& suite,
+                                  const std::string& detector_name,
+                                  const DetectorFactory& factory,
+                                  const ExperimentProgress& progress) {
+    PerformanceMap map(detector_name, suite.anomaly_sizes(), suite.window_lengths());
+    for (std::size_t dw : suite.window_lengths()) {
+        const std::unique_ptr<SequenceDetector> detector = factory(dw);
+        require(detector != nullptr, "detector factory returned null");
+        require(detector->window_length() == dw,
+                "factory produced detector with wrong window length");
+        detector->train(suite.corpus().training());
+        for (std::size_t as : suite.anomaly_sizes()) {
+            const SpanScore score = score_entry(*detector, suite.entry(as, dw));
+            map.set(as, dw, score);
+            if (progress) progress(as, dw, score);
+        }
+    }
+    return map;
+}
+
+}  // namespace adiv

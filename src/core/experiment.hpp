@@ -1,0 +1,35 @@
+// The experiment runner: deploys one detector across the whole evaluation
+// suite and assembles its performance map (step 5 of the methodology).
+//
+// For each detector window the detector is trained once on the corpus
+// training stream and scored on every anomaly-size test stream of that
+// window; each stream's incident-span responses are classified into the
+// corresponding map cell.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "anomaly/suite.hpp"
+#include "core/perf_map.hpp"
+#include "detect/detector.hpp"
+
+namespace adiv {
+
+/// Optional progress hook: called after each (AS, DW) cell is scored.
+using ExperimentProgress = std::function<void(
+    std::size_t anomaly_size, std::size_t window_length, const SpanScore&)>;
+
+/// Runs the full map experiment for one detector family.
+/// `detector_name` labels the map; `factory` builds the detector per window.
+PerformanceMap run_map_experiment(const EvaluationSuite& suite,
+                                  const std::string& detector_name,
+                                  const DetectorFactory& factory,
+                                  const ExperimentProgress& progress = {});
+
+/// Scores a single suite entry with an already trained detector. The
+/// detector's window length must equal the entry's.
+SpanScore score_entry(const SequenceDetector& detector,
+                      const EvaluationSuite::Entry& entry);
+
+}  // namespace adiv

@@ -1,0 +1,60 @@
+#include "core/false_alarm.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+std::vector<bool> alarms_from_responses(std::span<const double> responses,
+                                        double threshold) {
+    std::vector<bool> out(responses.size());
+    for (std::size_t i = 0; i < responses.size(); ++i)
+        out[i] = responses[i] >= threshold;
+    return out;
+}
+
+FalseAlarmResult measure_false_alarms(const SequenceDetector& detector,
+                                      const EventStream& normal_stream,
+                                      double threshold) {
+    const std::vector<double> responses = detector.score(normal_stream);
+    FalseAlarmResult result;
+    result.detector = detector.name();
+    result.window_length = detector.window_length();
+    result.windows = responses.size();
+    for (double r : responses)
+        if (r >= threshold) ++result.alarms;
+    return result;
+}
+
+CombinedAlarmResult measure_combined_alarms(const SequenceDetector& a,
+                                            const SequenceDetector& b,
+                                            const EventStream& stream,
+                                            double threshold) {
+    require(a.window_length() == b.window_length(),
+            "combined alarms require equal detector windows");
+    const std::vector<double> ra = a.score(stream);
+    const std::vector<double> rb = b.score(stream);
+    ADIV_ASSERT(ra.size() == rb.size());
+    CombinedAlarmResult result;
+    result.windows = ra.size();
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        const bool alarm_a = ra[i] >= threshold;
+        const bool alarm_b = rb[i] >= threshold;
+        result.alarms_a += alarm_a ? 1 : 0;
+        result.alarms_b += alarm_b ? 1 : 0;
+        result.alarms_and += (alarm_a && alarm_b) ? 1 : 0;
+        result.alarms_or += (alarm_a || alarm_b) ? 1 : 0;
+    }
+    return result;
+}
+
+bool hits_anomaly(const SequenceDetector& detector, const InjectedStream& injected,
+                  double threshold) {
+    require(detector.window_length() == injected.window_length,
+            "detector window does not match the injected stream's window");
+    const std::vector<double> responses = detector.score(injected.stream);
+    for (std::size_t pos = injected.span.first; pos <= injected.span.last; ++pos)
+        if (responses[pos] >= threshold) return true;
+    return false;
+}
+
+}  // namespace adiv

@@ -1,0 +1,71 @@
+// False-alarm experiments (Section 7's operational discussion).
+//
+// A detector's false-alarm behaviour is measured on held-out NORMAL data —
+// drawn from the same generative model as training, so it contains fresh rare
+// sequences but no anomaly. Every alarm on such data is false. The paper's
+// key operational observations, reproduced here:
+//
+//   * the Markov detector alarms on rare-but-normal events and so produces
+//     more false alarms than Stide;
+//   * running Stide alongside and keeping only alarms BOTH raise (AND
+//     combination) suppresses those false alarms while preserving hits in
+//     the region Stide covers — valid because Stide's coverage is a subset
+//     of the Markov detector's;
+//   * lowering L&B's detection threshold far enough to catch a one-element
+//     edge mismatch (similarity DW(DW-1)/2) makes everything that differs
+//     from normal by one element alarm, and the false-alarm rate grows with
+//     the window length.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anomaly/injection.hpp"
+#include "detect/detector.hpp"
+
+namespace adiv {
+
+/// Binarizes responses at a threshold: response >= threshold -> alarm.
+std::vector<bool> alarms_from_responses(std::span<const double> responses,
+                                        double threshold);
+
+struct FalseAlarmResult {
+    std::string detector;
+    std::size_t window_length = 0;
+    std::size_t windows = 0;  ///< windows scored
+    std::size_t alarms = 0;   ///< alarms raised (all false on normal data)
+    [[nodiscard]] double rate() const noexcept {
+        return windows == 0 ? 0.0
+                            : static_cast<double>(alarms) /
+                                  static_cast<double>(windows);
+    }
+};
+
+/// Scores a trained detector on a normal stream and counts alarms at the
+/// given threshold (default: only maximal responses alarm, the study's rule).
+FalseAlarmResult measure_false_alarms(const SequenceDetector& detector,
+                                      const EventStream& normal_stream,
+                                      double threshold = kMaximalResponse);
+
+/// Alarm statistics for two trained detectors over the same stream.
+struct CombinedAlarmResult {
+    std::size_t windows = 0;
+    std::size_t alarms_a = 0;
+    std::size_t alarms_b = 0;
+    std::size_t alarms_and = 0;  ///< both alarm (suppressed set)
+    std::size_t alarms_or = 0;   ///< either alarms (union coverage)
+};
+
+CombinedAlarmResult measure_combined_alarms(const SequenceDetector& a,
+                                            const SequenceDetector& b,
+                                            const EventStream& stream,
+                                            double threshold = kMaximalResponse);
+
+/// True when a trained detector raises an alarm within the incident span of
+/// an injected stream (a hit on the anomaly).
+bool hits_anomaly(const SequenceDetector& detector, const InjectedStream& injected,
+                  double threshold = kMaximalResponse);
+
+}  // namespace adiv

@@ -1,0 +1,39 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+OnlineScorer::OnlineScorer(const SequenceDetector& detector,
+                           std::size_t buffer_capacity)
+    : detector_(&detector),
+      capacity_(std::max(buffer_capacity, detector.window_length())),
+      alphabet_size_(detector.alphabet_size()) {
+    require(detector.window_length() >= 1, "detector window must be positive");
+    if (buffer_capacity == 0) capacity_ = 4 * detector.window_length();
+}
+
+std::optional<double> OnlineScorer::push(Symbol event) {
+    require_data(event < alphabet_size_, "event outside the training alphabet");
+    buffer_.push_back(event);
+    if (buffer_.size() > capacity_) buffer_.pop_front();
+    ++consumed_;
+
+    const std::size_t dw = detector_->window_length();
+    if (buffer_.size() < dw) return std::nullopt;
+
+    EventStream window_stream(alphabet_size_,
+                              Sequence(buffer_.begin(), buffer_.end()));
+    const std::vector<double> responses = detector_->score(window_stream);
+    ADIV_ASSERT(!responses.empty());
+    return responses.back();
+}
+
+void OnlineScorer::reset() {
+    buffer_.clear();
+    consumed_ = 0;
+}
+
+}  // namespace adiv

@@ -1,0 +1,51 @@
+// Online scoring: push events one at a time, receive per-window responses —
+// the deployment-facing wrapper around the batch detectors.
+//
+// The scorer keeps a bounded buffer of recent events. Each push that
+// completes a window scores the buffered suffix with the wrapped detector
+// and emits the newest window's response. For the window-local detectors
+// (Stide, t-Stide, Markov, L&B, neural net, rule) this is EXACTLY the value
+// batch score() would produce at that position. The HMM detector conditions
+// on the entire stream prefix, so its online responses are computed from a
+// bounded restart horizon (the buffer) — an approximation that converges to
+// the batch value as the buffer grows; buffer_capacity controls the
+// trade-off.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "detect/detector.hpp"
+
+namespace adiv {
+
+class OnlineScorer {
+public:
+    /// The detector must be trained and must outlive the scorer.
+    /// buffer_capacity is clamped to at least the detector window.
+    explicit OnlineScorer(const SequenceDetector& detector,
+                          std::size_t buffer_capacity = 0);
+
+    /// Consumes one event. Returns the response of the window ending at this
+    /// event, or nullopt while fewer than DW events have been seen.
+    std::optional<double> push(Symbol event);
+
+    /// Events consumed since construction or the last reset.
+    [[nodiscard]] std::size_t events_consumed() const noexcept { return consumed_; }
+
+    /// Drops all buffered history (e.g. at a session boundary).
+    void reset();
+
+    [[nodiscard]] const SequenceDetector& detector() const noexcept {
+        return *detector_;
+    }
+
+private:
+    const SequenceDetector* detector_;
+    std::size_t capacity_;
+    std::size_t alphabet_size_;
+    std::deque<Symbol> buffer_;
+    std::size_t consumed_ = 0;
+};
+
+}  // namespace adiv

@@ -1,0 +1,93 @@
+#include "core/perf_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace adiv {
+
+PerformanceMap::PerformanceMap(std::string detector_name,
+                               std::vector<std::size_t> as_values,
+                               std::vector<std::size_t> dw_values)
+    : detector_name_(std::move(detector_name)),
+      as_values_(std::move(as_values)),
+      dw_values_(std::move(dw_values)) {
+    require(!as_values_.empty() && !dw_values_.empty(),
+            "performance map axes must be non-empty");
+    require(std::is_sorted(as_values_.begin(), as_values_.end()),
+            "anomaly sizes must be ascending");
+    require(std::is_sorted(dw_values_.begin(), dw_values_.end()),
+            "window lengths must be ascending");
+}
+
+void PerformanceMap::set(std::size_t anomaly_size, std::size_t window_length,
+                         SpanScore score) {
+    require(std::count(as_values_.begin(), as_values_.end(), anomaly_size) == 1,
+            "anomaly size outside the map grid");
+    require(std::count(dw_values_.begin(), dw_values_.end(), window_length) == 1,
+            "window length outside the map grid");
+    cells_[{anomaly_size, window_length}] = score;
+}
+
+const SpanScore& PerformanceMap::at(std::size_t anomaly_size,
+                                    std::size_t window_length) const {
+    const auto it = cells_.find({anomaly_size, window_length});
+    require(it != cells_.end(), "performance map cell (" +
+                                    std::to_string(anomaly_size) + "," +
+                                    std::to_string(window_length) + ") is unset");
+    return it->second;
+}
+
+bool PerformanceMap::has(std::size_t anomaly_size,
+                         std::size_t window_length) const noexcept {
+    return cells_.contains({anomaly_size, window_length});
+}
+
+std::size_t PerformanceMap::count(DetectionOutcome outcome) const {
+    std::size_t n = 0;
+    for (const auto& [cell, score] : cells_) {
+        (void)cell;
+        if (score.outcome == outcome) ++n;
+    }
+    return n;
+}
+
+std::string PerformanceMap::render() const {
+    std::ostringstream out;
+    out << "Performance map of " << detector_name_
+        << " on MFS anomaly (detection threshold = 1)\n";
+    for (auto it = dw_values_.rbegin(); it != dw_values_.rend(); ++it) {
+        const std::size_t dw = *it;
+        out << (dw < 10 ? "  " : " ") << dw << " |";
+        out << "  u";  // undefined column for anomaly size 1
+        for (std::size_t as : as_values_) {
+            out << "  ";
+            out << (has(as, dw) ? outcome_glyph(at(as, dw).outcome) : ' ');
+        }
+        out << '\n';
+    }
+    out << " DW +";
+    out << std::string(3 * (as_values_.size() + 1), '-') << '\n';
+    out << "       1";
+    for (std::size_t as : as_values_)
+        out << (as < 10 ? "  " : " ") << as;
+    out << "  AS\n";
+    out << " legend: * detect (maximal response in incident span)   + weak "
+           "response   . blind   u undefined\n";
+    return out.str();
+}
+
+void PerformanceMap::write_csv(std::ostream& out) const {
+    CsvWriter csv(out);
+    csv.row({"detector", "anomaly_size", "window_length", "outcome",
+             "max_response"});
+    for (const auto& [cell, score] : cells_) {
+        csv.row_of(detector_name_, cell.first, cell.second,
+                   to_string(score.outcome), fixed(score.max_response, 6));
+    }
+}
+
+}  // namespace adiv

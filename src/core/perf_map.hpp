@@ -1,0 +1,62 @@
+// Performance map: a detector's detection coverage over the
+// (anomaly size, detector window) plane — Figures 3-6 of the paper.
+//
+// Each cell holds the classified outcome for one suite test stream; the
+// renderer draws the paper's chart as text with detector window on the
+// y-axis (descending), anomaly size on the x-axis, a '*' for each detection,
+// '+' for weak responses, '.' for blindness, and a 'u' column for the
+// undefined anomaly size of 1 (a size-1 sequence cannot be both foreign and
+// rare).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/response.hpp"
+
+namespace adiv {
+
+class PerformanceMap {
+public:
+    /// as_values / dw_values: the grid axes, ascending.
+    PerformanceMap(std::string detector_name, std::vector<std::size_t> as_values,
+                   std::vector<std::size_t> dw_values);
+
+    [[nodiscard]] const std::string& detector_name() const noexcept {
+        return detector_name_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>& anomaly_sizes() const noexcept {
+        return as_values_;
+    }
+    [[nodiscard]] const std::vector<std::size_t>& window_lengths() const noexcept {
+        return dw_values_;
+    }
+
+    void set(std::size_t anomaly_size, std::size_t window_length, SpanScore score);
+
+    /// Throws InvalidArgument for cells outside the grid or never set.
+    [[nodiscard]] const SpanScore& at(std::size_t anomaly_size,
+                                      std::size_t window_length) const;
+
+    [[nodiscard]] bool has(std::size_t anomaly_size,
+                           std::size_t window_length) const noexcept;
+
+    [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+    [[nodiscard]] std::size_t count(DetectionOutcome outcome) const;
+
+    /// ASCII chart in the style of the paper's figures.
+    [[nodiscard]] std::string render() const;
+
+    /// CSV rows: anomaly_size, window_length, outcome, max_response.
+    void write_csv(std::ostream& out) const;
+
+private:
+    std::string detector_name_;
+    std::vector<std::size_t> as_values_;
+    std::vector<std::size_t> dw_values_;
+    std::map<std::pair<std::size_t, std::size_t>, SpanScore> cells_;  // (as,dw)
+};
+
+}  // namespace adiv

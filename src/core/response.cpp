@@ -1,0 +1,49 @@
+#include "core/response.hpp"
+
+#include "detect/detector.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+
+std::string to_string(DetectionOutcome outcome) {
+    switch (outcome) {
+        case DetectionOutcome::Blind: return "blind";
+        case DetectionOutcome::Weak: return "weak";
+        case DetectionOutcome::Capable: return "capable";
+    }
+    ADIV_ASSERT(false && "unreachable outcome");
+    return {};
+}
+
+char outcome_glyph(DetectionOutcome outcome) noexcept {
+    switch (outcome) {
+        case DetectionOutcome::Blind: return '.';
+        case DetectionOutcome::Weak: return '+';
+        case DetectionOutcome::Capable: return '*';
+    }
+    return '?';
+}
+
+SpanScore classify_span(std::span<const double> responses, const IncidentSpan& span) {
+    require(span.last < responses.size(),
+            "incident span extends past the response vector");
+    SpanScore score;
+    score.max_response = 0.0;
+    score.argmax_window = span.first;
+    for (std::size_t pos = span.first; pos <= span.last; ++pos) {
+        if (responses[pos] > score.max_response) {
+            score.max_response = responses[pos];
+            score.argmax_window = pos;
+        }
+    }
+    if (score.max_response >= kMaximalResponse) {
+        score.outcome = DetectionOutcome::Capable;
+    } else if (score.max_response > kZeroResponse) {
+        score.outcome = DetectionOutcome::Weak;
+    } else {
+        score.outcome = DetectionOutcome::Blind;
+    }
+    return score;
+}
+
+}  // namespace adiv

@@ -1,0 +1,41 @@
+// Scoring detector responses over an incident span (Section 5.5).
+//
+// With the detection threshold set to 1 for all detectors, a detector is
+//   * CAPABLE when at least one response of 1 (maximal) occurs in the
+//     incident span — the starred cells of the performance maps;
+//   * WEAK when the maximum span response is strictly between 0 and 1 —
+//     something abnormal registered, but not maximally;
+//   * BLIND when every span response is 0 — the anomaly was perceived as
+//     completely normal.
+// The paper's charts draw only capable (star) vs everything else ("blind
+// region"); this library keeps the finer three-way outcome and the figure
+// renderer shows all three.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "anomaly/injection.hpp"
+
+namespace adiv {
+
+enum class DetectionOutcome { Blind, Weak, Capable };
+
+std::string to_string(DetectionOutcome outcome);
+
+/// Map glyph: '*' capable, '+' weak, '.' blind.
+char outcome_glyph(DetectionOutcome outcome) noexcept;
+
+/// A classified span: the outcome plus the evidence behind it.
+struct SpanScore {
+    DetectionOutcome outcome = DetectionOutcome::Blind;
+    double max_response = 0.0;     ///< maximum response inside the span
+    std::size_t argmax_window = 0; ///< window position attaining the maximum
+};
+
+/// Classifies the responses of one test stream over its incident span.
+/// `responses` must hold one entry per window position of the stream the
+/// span was computed for.
+SpanScore classify_span(std::span<const double> responses, const IncidentSpan& span);
+
+}  // namespace adiv

@@ -1,0 +1,80 @@
+#include "datagen/corpus.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+TransitionMatrix make_cycle_matrix(const CorpusSpec& spec) {
+    const std::size_t n = spec.alphabet_size;
+    require(n >= 2, "corpus alphabet must have at least 2 symbols");
+    require(spec.deviation_rate >= 0.0 && spec.deviation_rate < 1.0,
+            "deviation rate must be in [0,1)");
+    require(spec.deviation_targets >= 1, "need at least one deviation target");
+    // Targets are s+2, s+4, ... (mod n); they must avoid both s (self-loop)
+    // and s+1 (the cycle successor), which requires 2*(targets+1) <= n... the
+    // k-th target is s+2k, so the largest is s+2*deviation_targets, and all
+    // of s+2..s+2t must differ from s and s+1 modulo n.
+    require(2 * spec.deviation_targets + 1 < n,
+            "alphabet too small for the requested number of deviation targets");
+
+    TransitionMatrix m(n);
+    for (Symbol s = 0; s < n; ++s) {
+        m.set(s, static_cast<Symbol>((s + 1) % n), 1.0 - spec.deviation_rate);
+        for (std::size_t k = 1; k <= spec.deviation_targets; ++k) {
+            const auto target = static_cast<Symbol>((s + 2 * k) % n);
+            m.set(s, target, spec.deviation_rate / static_cast<double>(spec.deviation_targets));
+        }
+    }
+    ADIV_ASSERT(m.row_stochastic(1e-9));
+    return m;
+}
+
+TrainingCorpus TrainingCorpus::generate(const CorpusSpec& spec) {
+    require(spec.training_length >= spec.alphabet_size,
+            "training stream must cover at least one full cycle");
+    require(spec.rare_threshold > 0.0 && spec.rare_threshold < 1.0,
+            "rare threshold must be in (0,1)");
+    TransitionMatrix matrix = make_cycle_matrix(spec);
+    Rng rng(spec.seed);
+    EventStream training = matrix.generate(spec.training_length, /*start=*/0, rng);
+    Sequence cycle(spec.alphabet_size);
+    for (std::size_t i = 0; i < spec.alphabet_size; ++i)
+        cycle[i] = static_cast<Symbol>(i);
+    return TrainingCorpus(spec, std::move(matrix), std::move(training), std::move(cycle));
+}
+
+TrainingCorpus::TrainingCorpus(CorpusSpec spec, TransitionMatrix matrix,
+                               EventStream training, Sequence cycle)
+    : spec_(spec),
+      matrix_(std::move(matrix)),
+      training_(std::move(training)),
+      cycle_(std::move(cycle)) {}
+
+std::vector<Symbol> TrainingCorpus::deviation_successors(Symbol s) const {
+    require(s < spec_.alphabet_size, "symbol outside alphabet");
+    std::vector<Symbol> out;
+    out.reserve(spec_.deviation_targets);
+    for (std::size_t k = 1; k <= spec_.deviation_targets; ++k)
+        out.push_back(static_cast<Symbol>((s + 2 * k) % spec_.alphabet_size));
+    return out;
+}
+
+EventStream TrainingCorpus::background(std::size_t length, Symbol start_phase) const {
+    require(start_phase < spec_.alphabet_size, "start phase outside alphabet");
+    Sequence events;
+    events.reserve(length);
+    Symbol s = start_phase;
+    for (std::size_t i = 0; i < length; ++i) {
+        events.push_back(s);
+        s = cycle_successor(s);
+    }
+    return EventStream(spec_.alphabet_size, std::move(events));
+}
+
+EventStream TrainingCorpus::generate_heldout(std::size_t length,
+                                             std::uint64_t seed) const {
+    Rng rng(seed);
+    return matrix_.generate(length, /*start=*/0, rng);
+}
+
+}  // namespace adiv

@@ -1,0 +1,94 @@
+// The paper's evaluation corpus (Section 5.3), regenerated.
+//
+// Characteristics reproduced:
+//   * training stream of 1,000,000 categorical elements over an alphabet of 8;
+//   * ~98% of the stream is repetitions of the base cycle 0 1 2 3 4 5 6 7
+//     (the paper's "1 2 3 4 5 6 7 8");
+//   * the remaining ~2% stems from a small nondeterminism in the transition
+//     matrix, producing rare sequences (relative frequency < 0.5%);
+//   * some transitions never occur at all, so foreign sequences of every
+//     length >= 2 exist and can be synthesized.
+//
+// Concretely, from each symbol s the chain moves to the cycle successor
+// (s+1 mod n) with probability 1 - deviation_rate and otherwise jumps to one
+// of `deviation_targets` designated non-cycle successors (s+2, s+4, s+6 for
+// the default alphabet of 8). The remaining successors have probability zero;
+// those zero-probability transitions are what make foreign 2-grams possible.
+// With the default deviation_rate of 0.0025, the fraction of clean length-8
+// cycle windows is (1 - 0.0025)^8 ~= 98%, matching the paper's figure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/markov_chain.hpp"
+#include "seq/stream.hpp"
+#include "seq/types.hpp"
+
+namespace adiv {
+
+struct CorpusSpec {
+    std::size_t alphabet_size = 8;
+    std::size_t training_length = 1'000'000;
+    /// Per-transition probability of leaving the base cycle.
+    double deviation_rate = 0.0025;
+    /// Number of designated non-cycle successors each symbol may jump to.
+    std::size_t deviation_targets = 3;
+    /// Rarity cutoff used throughout the study (Warrender's 0.5%).
+    double rare_threshold = 0.005;
+    std::uint64_t seed = 20050628;
+};
+
+class TrainingCorpus {
+public:
+    /// Builds the transition matrix from the spec and generates the training
+    /// stream. Throws InvalidArgument for specs that cannot host the required
+    /// structure (alphabet too small for the deviation-target layout).
+    static TrainingCorpus generate(const CorpusSpec& spec);
+
+    [[nodiscard]] const CorpusSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] const EventStream& training() const noexcept { return training_; }
+    [[nodiscard]] const TransitionMatrix& matrix() const noexcept { return matrix_; }
+
+    /// The base cycle 0..n-1.
+    [[nodiscard]] const Sequence& cycle() const noexcept { return cycle_; }
+
+    /// Successor of s on the base cycle: (s+1) mod n.
+    [[nodiscard]] Symbol cycle_successor(Symbol s) const noexcept {
+        return static_cast<Symbol>((s + 1) % spec_.alphabet_size);
+    }
+
+    /// The designated non-cycle successors of s (probability > 0, != cycle).
+    [[nodiscard]] std::vector<Symbol> deviation_successors(Symbol s) const;
+
+    /// Successors of s with probability zero — candidates for foreign pairs.
+    [[nodiscard]] std::vector<Symbol> forbidden_successors(Symbol s) const {
+        return matrix_.forbidden_successors(s);
+    }
+
+    /// Pure cycle repetitions of `length` symbols, starting at `start_phase`.
+    /// This is the paper's clean background test data: every window of any
+    /// length that fits is a common training sequence.
+    [[nodiscard]] EventStream background(std::size_t length, Symbol start_phase) const;
+
+    /// A held-out stream drawn from the same transition matrix with an
+    /// independent seed — "more normal data", including fresh rare sequences;
+    /// used by the false-alarm experiments.
+    [[nodiscard]] EventStream generate_heldout(std::size_t length,
+                                               std::uint64_t seed) const;
+
+private:
+    TrainingCorpus(CorpusSpec spec, TransitionMatrix matrix, EventStream training,
+                   Sequence cycle);
+
+    CorpusSpec spec_;
+    TransitionMatrix matrix_;
+    EventStream training_;
+    Sequence cycle_;
+};
+
+/// The transition matrix described above, exposed separately so tests and
+/// ablations can generate variants without a full corpus.
+TransitionMatrix make_cycle_matrix(const CorpusSpec& spec);
+
+}  // namespace adiv

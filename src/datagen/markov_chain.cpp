@@ -1,0 +1,82 @@
+#include "datagen/markov_chain.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+TransitionMatrix::TransitionMatrix(std::size_t alphabet_size)
+    : size_(alphabet_size), rows_(alphabet_size * alphabet_size, 0.0) {
+    require(alphabet_size > 0, "alphabet size must be positive");
+}
+
+double TransitionMatrix::probability(Symbol from, Symbol to) const {
+    require(from < size_ && to < size_, "symbol outside alphabet");
+    return rows_[from * size_ + to];
+}
+
+void TransitionMatrix::set(Symbol from, Symbol to, double p) {
+    require(from < size_ && to < size_, "symbol outside alphabet");
+    require(p >= 0.0, "transition probability must be non-negative");
+    rows_[from * size_ + to] = p;
+}
+
+void TransitionMatrix::normalize_rows() {
+    for (std::size_t from = 0; from < size_; ++from) {
+        double sum = 0.0;
+        for (std::size_t to = 0; to < size_; ++to) sum += rows_[from * size_ + to];
+        require_data(sum > 0.0, "transition matrix row " + std::to_string(from) +
+                                    " is all zero; cannot normalize");
+        for (std::size_t to = 0; to < size_; ++to) rows_[from * size_ + to] /= sum;
+    }
+}
+
+bool TransitionMatrix::row_stochastic(double tolerance) const noexcept {
+    for (std::size_t from = 0; from < size_; ++from) {
+        double sum = 0.0;
+        for (std::size_t to = 0; to < size_; ++to) sum += rows_[from * size_ + to];
+        if (std::abs(sum - 1.0) > tolerance) return false;
+    }
+    return true;
+}
+
+Symbol TransitionMatrix::sample_next(Symbol from, Rng& rng) const {
+    require(from < size_, "symbol outside alphabet");
+    double target = rng.uniform();
+    const double* probs = row(from);
+    for (std::size_t to = 0; to < size_; ++to) {
+        target -= probs[to];
+        if (target < 0.0) return static_cast<Symbol>(to);
+    }
+    // Floating-point slack: return the last symbol with nonzero probability.
+    for (std::size_t to = size_; to > 0; --to)
+        if (probs[to - 1] > 0.0) return static_cast<Symbol>(to - 1);
+    return static_cast<Symbol>(size_ - 1);
+}
+
+EventStream TransitionMatrix::generate(std::size_t length, Symbol start, Rng& rng) const {
+    require(start < size_, "start symbol outside alphabet");
+    require_data(row_stochastic(1e-6), "transition matrix rows must sum to 1");
+    Sequence events;
+    events.reserve(length);
+    if (length == 0) return EventStream(size_, std::move(events));
+    events.push_back(start);
+    Symbol current = start;
+    for (std::size_t i = 1; i < length; ++i) {
+        current = sample_next(current, rng);
+        events.push_back(current);
+    }
+    return EventStream(size_, std::move(events));
+}
+
+std::vector<Symbol> TransitionMatrix::forbidden_successors(Symbol from) const {
+    require(from < size_, "symbol outside alphabet");
+    std::vector<Symbol> out;
+    const double* probs = row(from);
+    for (std::size_t to = 0; to < size_; ++to)
+        if (probs[to] == 0.0) out.push_back(static_cast<Symbol>(to));
+    return out;
+}
+
+}  // namespace adiv

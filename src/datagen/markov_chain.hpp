@@ -1,0 +1,56 @@
+// First-order Markov chain model used to synthesize evaluation corpora.
+//
+// The paper's training data (Section 5.3) is produced by a Markov-model
+// transition matrix whose probabilities are mostly deterministic (a base
+// cycle) with a small amount of nondeterminism that yields rare sequences.
+// TransitionMatrix is the general substrate: a row-stochastic matrix over the
+// alphabet plus a reproducible sampler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "seq/stream.hpp"
+#include "seq/types.hpp"
+#include "util/rng.hpp"
+
+namespace adiv {
+
+class TransitionMatrix {
+public:
+    /// Zero matrix over an alphabet of the given size; rows must be filled
+    /// (set/normalize) before sampling.
+    explicit TransitionMatrix(std::size_t alphabet_size);
+
+    [[nodiscard]] std::size_t alphabet_size() const noexcept { return size_; }
+
+    /// P(to | from). No bounds slack: both symbols must be in the alphabet.
+    [[nodiscard]] double probability(Symbol from, Symbol to) const;
+
+    void set(Symbol from, Symbol to, double p);
+
+    /// Scales every row to sum to 1. Throws DataError for all-zero rows.
+    void normalize_rows();
+
+    /// True when every row sums to 1 within tolerance.
+    [[nodiscard]] bool row_stochastic(double tolerance = 1e-9) const noexcept;
+
+    /// Samples the successor of `from`.
+    [[nodiscard]] Symbol sample_next(Symbol from, Rng& rng) const;
+
+    /// Generates a stream of `length` symbols starting from `start`
+    /// (inclusive). Throws DataError if the matrix is not row-stochastic.
+    [[nodiscard]] EventStream generate(std::size_t length, Symbol start, Rng& rng) const;
+
+    /// Symbols `to` with probability(from, to) == 0 — transitions the model
+    /// can never produce. Foreign 2-grams are drawn from these.
+    [[nodiscard]] std::vector<Symbol> forbidden_successors(Symbol from) const;
+
+private:
+    std::size_t size_;
+    std::vector<double> rows_;  // row-major [from * size_ + to]
+
+    [[nodiscard]] const double* row(Symbol from) const { return &rows_[from * size_]; }
+};
+
+}  // namespace adiv

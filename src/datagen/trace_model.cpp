@@ -1,0 +1,80 @@
+#include "datagen/trace_model.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+TraceModel::TraceModel(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+void TraceModel::add_routine(const std::string& name,
+                             const std::vector<std::string>& symbols, double weight) {
+    require(!symbols.empty(), "routine must contain at least one symbol");
+    require(weight > 0.0, "routine weight must be positive");
+    Routine r;
+    r.name = name;
+    r.symbols.reserve(symbols.size());
+    for (const auto& s : symbols) r.symbols.push_back(alphabet_.id(s));
+    r.weight = weight;
+    routines_.push_back(std::move(r));
+}
+
+EventStream TraceModel::generate(std::size_t length, std::uint64_t seed) const {
+    require(!routines_.empty(), "trace model has no routines");
+    std::vector<double> weights;
+    weights.reserve(routines_.size());
+    for (const auto& r : routines_) weights.push_back(r.weight);
+
+    Rng rng(seed);
+    Sequence events;
+    events.reserve(length + 64);
+    while (events.size() < length) {
+        const Routine& r = routines_[rng.weighted_pick(weights)];
+        events.insert(events.end(), r.symbols.begin(), r.symbols.end());
+    }
+    events.resize(length);
+    return EventStream(alphabet_.size(), std::move(events));
+}
+
+const Sequence& TraceModel::routine(const std::string& name) const {
+    for (const auto& r : routines_)
+        if (r.name == name) return r.symbols;
+    throw InvalidArgument("unknown routine: " + name);
+}
+
+TraceModel make_syscall_model() {
+    Alphabet alphabet(std::vector<std::string>{
+        "open",   "read",   "write",  "close",  "stat",   "mmap",  "brk",
+        "socket", "accept", "recv",   "send",   "select", "fork",  "execve",
+        "wait",   "exit",   "chmod",  "unlink", "getpid", "ioctl"});
+    TraceModel model(std::move(alphabet));
+    // The daemon's steady-state request loop dominates the trace.
+    model.add_routine("serve_request",
+                      {"accept", "recv", "stat", "open", "read", "send", "close"},
+                      60.0);
+    model.add_routine("serve_cached", {"accept", "recv", "send"}, 25.0);
+    model.add_routine("log_entry", {"open", "write", "close"}, 8.0);
+    model.add_routine("poll_idle", {"select", "getpid"}, 4.0);
+    model.add_routine("reload_config", {"stat", "open", "read", "close", "brk"}, 1.5);
+    model.add_routine("spawn_worker", {"fork", "execve", "wait"}, 1.0);
+    model.add_routine("cleanup_tmp", {"stat", "unlink"}, 0.5);
+    return model;
+}
+
+TraceModel make_command_model() {
+    Alphabet alphabet(std::vector<std::string>{
+        "cd", "ls", "cat", "vi", "make", "gcc", "run", "gdb", "grep", "man",
+        "cp", "mv", "rm", "mail", "lpr", "who", "ps", "kill", "tar", "ssh"});
+    TraceModel model(std::move(alphabet));
+    model.add_routine("edit_compile", {"vi", "make", "gcc", "run"}, 40.0);
+    model.add_routine("browse", {"cd", "ls", "cat"}, 30.0);
+    model.add_routine("debug", {"gdb", "run", "vi"}, 10.0);
+    model.add_routine("search", {"grep", "cat", "vi"}, 8.0);
+    model.add_routine("docs", {"man", "vi"}, 5.0);
+    model.add_routine("mail_check", {"mail", "who"}, 3.0);
+    model.add_routine("housekeeping", {"cp", "mv", "ls"}, 2.5);
+    model.add_routine("print", {"lpr", "ls"}, 1.0);
+    model.add_routine("archive", {"tar", "cp", "ls"}, 0.5);
+    return model;
+}
+
+}  // namespace adiv

@@ -1,0 +1,62 @@
+// Natural-looking categorical traces for the example applications.
+//
+// The study itself uses the controlled synthetic corpus (datagen/corpus), but
+// the examples motivate the detectors with host-monitoring workloads: system
+// call traces (a "sense of self" style process monitor, Forrest et al.) and
+// user command streams (the masquerade setting of Lane & Brodley). The
+// TraceModel composes a trace by stochastically concatenating behavioural
+// routines — short, named symbol sequences with mixing weights — which yields
+// data that is regular enough to train on yet irregular enough to contain
+// rare patterns, like real audit data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+#include "seq/stream.hpp"
+#include "seq/types.hpp"
+#include "util/rng.hpp"
+
+namespace adiv {
+
+class TraceModel {
+public:
+    explicit TraceModel(Alphabet alphabet);
+
+    /// Registers a behavioural routine given as symbol names. Weight is the
+    /// relative sampling frequency (> 0).
+    void add_routine(const std::string& name, const std::vector<std::string>& symbols,
+                     double weight);
+
+    /// Generates a trace of at least `length` symbols (whole routines are
+    /// appended; the stream is truncated to exactly `length`).
+    [[nodiscard]] EventStream generate(std::size_t length, std::uint64_t seed) const;
+
+    [[nodiscard]] const Alphabet& alphabet() const noexcept { return alphabet_; }
+    [[nodiscard]] std::size_t routine_count() const noexcept { return routines_.size(); }
+
+    /// Symbol sequence of a named routine. Throws for unknown names.
+    [[nodiscard]] const Sequence& routine(const std::string& name) const;
+
+private:
+    struct Routine {
+        std::string name;
+        Sequence symbols;
+        double weight;
+    };
+
+    Alphabet alphabet_;
+    std::vector<Routine> routines_;
+};
+
+/// A simulated server process: ~20 system calls, routines for request
+/// handling, file serving, logging, and housekeeping.
+TraceModel make_syscall_model();
+
+/// A simulated interactive user: shell commands with editing, build, and
+/// browsing habits; used by the masquerade example.
+TraceModel make_command_model();
+
+}  // namespace adiv

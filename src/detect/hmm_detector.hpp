@@ -1,0 +1,70 @@
+// HMM-based detector — an extension detector from the study's own reference
+// list (Warrender et al. 1999 evaluated an HMM against Stide and t-Stide as
+// an "alternative data model").
+//
+// A discrete HMM is trained with Baum-Welch on (a prefix of) the training
+// stream; at test time a forward filter tracks the state belief and the
+// response for a window is derived from the one-step-ahead predictive
+// probability of the window's last symbol, quantized like the other
+// probabilistic detectors. The hidden state carries the temporal context, so
+// — unlike the Markov detector — the model's conditioning is not tied to the
+// window length; DW only sets the response alignment.
+#pragma once
+
+#include <iosfwd>
+
+#include <cstdint>
+#include <optional>
+
+#include "detect/detector.hpp"
+#include "nn/hmm.hpp"
+
+namespace adiv {
+
+struct HmmDetectorConfig {
+    std::size_t states = 8;               ///< hidden states (~alphabet size)
+    std::size_t iterations = 30;          ///< Baum-Welch iterations
+    /// Baum-Welch cost is linear in sequence length x states^2; training uses
+    /// at most this many observations from the front of the training stream.
+    std::size_t max_training_observations = 20'000;
+    double probability_floor = 0.005;     ///< response quantizer floor
+    std::uint64_t seed = 7;
+};
+
+class HmmDetector final : public SequenceDetector {
+public:
+    explicit HmmDetector(std::size_t window_length, HmmDetectorConfig config = {});
+
+    [[nodiscard]] std::string name() const override { return "hmm"; }
+    [[nodiscard]] std::size_t window_length() const override { return window_length_; }
+
+    void train(const EventStream& training) override;
+    [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
+
+    /// Writes the trained model body in the adiv text format; pair with
+    /// load_model. Most callers use io/model_io, which adds a typed envelope.
+    void save_model(std::ostream& out) const;
+    /// Restores a model written by save_model. Throws DataError on corrupt,
+    /// truncated, or inconsistent input.
+    static HmmDetector load_model(std::istream& in);
+
+    /// Alphabet size of the training data; throws before train().
+    [[nodiscard]] std::size_t alphabet_size() const override;
+
+    [[nodiscard]] const HmmDetectorConfig& config() const noexcept { return config_; }
+
+    /// Training log-likelihood per observation; throws before train().
+    [[nodiscard]] double training_log_likelihood() const;
+
+    /// The trained model; throws before train().
+    [[nodiscard]] const Hmm& model() const;
+
+private:
+    std::size_t window_length_;
+    HmmDetectorConfig config_;
+    ResponseQuantizer quantizer_;
+    std::optional<Hmm> model_;
+    double training_ll_ = 0.0;
+};
+
+}  // namespace adiv

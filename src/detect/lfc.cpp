@@ -1,0 +1,26 @@
+#include "detect/lfc.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+std::vector<double> locality_frame_filter(std::span<const double> responses,
+                                          const LocalityFrameConfig& config) {
+    require(config.frame_size >= 1, "locality frame must hold at least 1 window");
+    require(config.threshold >= 1, "locality frame threshold must be at least 1");
+    require(config.threshold <= config.frame_size,
+            "threshold cannot exceed the frame size");
+
+    std::vector<double> alarms(responses.size(), 0.0);
+    std::size_t in_frame = 0;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        if (responses[i] >= config.binarize_at) ++in_frame;
+        if (i >= config.frame_size &&
+            responses[i - config.frame_size] >= config.binarize_at)
+            --in_frame;
+        alarms[i] = in_frame >= config.threshold ? 1.0 : 0.0;
+    }
+    return alarms;
+}
+
+}  // namespace adiv

@@ -1,0 +1,31 @@
+// Locality frame count (LFC) post-filter.
+//
+// Real Stide deployments smooth window responses with a locality frame: an
+// alarm is raised only when at least `threshold` of the last `frame_size`
+// windows were anomalous (Warrender et al. 1999). The study deliberately
+// IGNORES this stage — it evaluates a detector's intrinsic ability, not its
+// noise suppression (Section 5.5) — so the filter lives outside the
+// detectors as an optional post-processor, exercised by the LFC ablation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace adiv {
+
+struct LocalityFrameConfig {
+    std::size_t frame_size = 20;  ///< sliding frame of recent windows
+    std::size_t threshold = 4;    ///< anomalies within frame needed to alarm
+    /// Responses at or above this count as anomalous inside the frame.
+    double binarize_at = kMaximalResponse;
+};
+
+/// Applies the LFC to per-window responses; returns 0/1 alarms, one per input
+/// response. Position i considers responses [max(0, i-frame+1) .. i].
+std::vector<double> locality_frame_filter(std::span<const double> responses,
+                                          const LocalityFrameConfig& config);
+
+}  // namespace adiv

@@ -1,0 +1,65 @@
+// Markov-based detector (Jha, Tan & Maxion 2001; Teng et al. 1990).
+//
+// For each DW-window of the test data the detector conditions on the first
+// DW-1 symbols and asks how probable the DW-th symbol is, using conditional
+// probabilities estimated from training. The smallest usable window is 2 —
+// the Markov assumption's "next state depends only on the current state"
+// (Section 6). The raw probability maps to a response through the shared
+// ResponseQuantizer: impossible or below-floor continuations score 1
+// (maximally anomalous), probable continuations score near 0.
+//
+// Optional Laplace smoothing (laplace_alpha > 0) fills zero-probability
+// continuations with small mass; the ablation bench shows how smoothing
+// erodes the detector's ability to register maximal responses.
+#pragma once
+
+#include <iosfwd>
+
+#include <optional>
+
+#include "detect/detector.hpp"
+#include "seq/conditional_model.hpp"
+
+namespace adiv {
+
+struct MarkovConfig {
+    /// Probabilities at or below this quantize to the maximal response.
+    double probability_floor = 0.005;
+    /// Laplace pseudo-count; 0 disables smoothing.
+    double laplace_alpha = 0.0;
+};
+
+class MarkovDetector final : public SequenceDetector {
+public:
+    /// window_length must be >= 2 (context of DW-1 >= 1 symbols).
+    explicit MarkovDetector(std::size_t window_length, MarkovConfig config = {});
+
+    [[nodiscard]] std::string name() const override { return "markov"; }
+    [[nodiscard]] std::size_t window_length() const override { return window_length_; }
+
+    void train(const EventStream& training) override;
+    [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
+
+    /// Writes the trained model body in the adiv text format; pair with
+    /// load_model. Most callers use io/model_io, which adds a typed envelope.
+    void save_model(std::ostream& out) const;
+    /// Restores a model written by save_model. Throws DataError on corrupt,
+    /// truncated, or inconsistent input.
+    static MarkovDetector load_model(std::istream& in);
+
+    /// Alphabet size of the training data; throws before train().
+    [[nodiscard]] std::size_t alphabet_size() const override;
+
+    [[nodiscard]] const MarkovConfig& config() const noexcept { return config_; }
+
+    /// The trained conditional model; throws before train().
+    [[nodiscard]] const ConditionalModel& model() const;
+
+private:
+    std::size_t window_length_;
+    MarkovConfig config_;
+    ResponseQuantizer quantizer_;
+    std::optional<ConditionalModel> model_;
+};
+
+}  // namespace adiv

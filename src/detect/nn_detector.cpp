@@ -1,0 +1,145 @@
+#include "detect/nn_detector.hpp"
+
+#include <cmath>
+
+#include "nn/encoding.hpp"
+#include "seq/conditional_model.hpp"
+#include "util/error.hpp"
+#include "util/text_serial.hpp"
+
+namespace adiv {
+
+NnDetector::NnDetector(std::size_t window_length, NnDetectorConfig config)
+    : window_length_(window_length), config_(config) {
+    require(window_length >= 2,
+            "neural-net window length must be at least 2 (one context symbol "
+            "plus the predicted symbol)");
+    require(config_.hidden_units >= 1, "need at least one hidden unit");
+    require(config_.epochs >= 1, "need at least one training epoch");
+    require(config_.probability_floor >= 0.0 && config_.probability_floor < 1.0,
+            "probability floor must be in [0,1)");
+    quantizer_.probability_floor = config_.probability_floor;
+}
+
+void NnDetector::train(const EventStream& training) {
+    alphabet_size_ = training.alphabet_size();
+    memo_.clear();
+
+    const std::size_t context_len = window_length_ - 1;
+    const ConditionalModel model(training, context_len);
+
+    std::vector<MlpSample> batch;
+    const auto distributions = model.distributions();
+    batch.reserve(distributions.size());
+    for (const ContextDistribution& dist : distributions) {
+        MlpSample sample;
+        sample.input = one_hot_context(dist.context, alphabet_size_);
+        sample.target.resize(alphabet_size_);
+        for (std::size_t c = 0; c < alphabet_size_; ++c)
+            sample.target[c] = static_cast<double>(dist.next_counts[c]) /
+                               static_cast<double>(dist.total);
+        sample.weight = std::log2(1.0 + static_cast<double>(dist.total));
+        batch.push_back(std::move(sample));
+    }
+
+    MlpConfig net_config;
+    net_config.layer_sizes = {one_hot_size(context_len, alphabet_size_),
+                              config_.hidden_units, alphabet_size_};
+    net_config.learning_rate = config_.learning_rate;
+    net_config.momentum = config_.momentum;
+    net_config.init_scale = config_.init_scale;
+    net_config.seed = config_.seed;
+    net_.emplace(net_config);
+    training_loss_ = net_->train(batch, config_.epochs);
+}
+
+std::vector<double> NnDetector::predict(SymbolView context) const {
+    require(net_.has_value(), "neural-net detector must be trained before use");
+    require(context.size() == window_length_ - 1, "context length mismatch");
+    const NgramCodec codec(alphabet_size_);
+    const NgramKey key = codec.encode(context);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+    std::vector<double> probs = net_->forward(one_hot_context(context, alphabet_size_));
+    memo_.emplace(key, probs);
+    return probs;
+}
+
+std::vector<double> NnDetector::score(const EventStream& test) const {
+    require(net_.has_value(), "neural-net detector must be trained before scoring");
+    require(test.alphabet_size() == alphabet_size_,
+            "test alphabet does not match training alphabet");
+    const std::size_t context_len = window_length_ - 1;
+    std::vector<double> responses;
+    responses.reserve(test.window_count(window_length_));
+    for_each_window(test, window_length_, [&](std::size_t, SymbolView w) {
+        const std::vector<double> probs = predict(w.subspan(0, context_len));
+        const double p = probs[w[context_len]];
+        responses.push_back(quantizer_.response_for_probability(p));
+    });
+    return responses;
+}
+
+double NnDetector::training_loss() const {
+    require(net_.has_value(), "neural-net detector is not trained");
+    return training_loss_;
+}
+
+
+void NnDetector::save_model(std::ostream& out) const {
+    require(net_.has_value(), "cannot save an untrained neural-net model");
+    out << window_length_ << ' ' << alphabet_size_ << ' ' << config_.hidden_units
+        << ' ' << config_.epochs << ' ';
+    write_double(out, config_.learning_rate);
+    out << ' ';
+    write_double(out, config_.momentum);
+    out << ' ';
+    write_double(out, config_.init_scale);
+    out << ' ';
+    write_double(out, config_.probability_floor);
+    out << ' ' << config_.seed << ' ';
+    write_double(out, training_loss_);
+    const std::vector<double> params = net_->parameters();
+    out << ' ' << params.size() << '\n';
+    for (double p : params) {
+        write_double(out, p);
+        out << '\n';
+    }
+}
+
+NnDetector NnDetector::load_model(std::istream& in) {
+    const std::size_t window = read_size(in, "window length");
+    const std::size_t alphabet = read_size(in, "alphabet size");
+    NnDetectorConfig config;
+    config.hidden_units = read_size(in, "hidden units");
+    config.epochs = read_size(in, "epochs");
+    config.learning_rate = read_double(in, "learning rate");
+    config.momentum = read_double(in, "momentum");
+    config.init_scale = read_double(in, "init scale");
+    config.probability_floor = read_double(in, "probability floor");
+    config.seed = read_u64(in, "seed");
+    NnDetector detector(window, config);
+    detector.alphabet_size_ = alphabet;
+    detector.training_loss_ = read_double(in, "training loss");
+
+    MlpConfig net_config;
+    net_config.layer_sizes = {one_hot_size(window - 1, alphabet),
+                              config.hidden_units, alphabet};
+    net_config.learning_rate = config.learning_rate;
+    net_config.momentum = config.momentum;
+    net_config.init_scale = config.init_scale;
+    net_config.seed = config.seed;
+    detector.net_.emplace(net_config);
+
+    const std::size_t param_count = read_size(in, "parameter count");
+    std::vector<double> params(param_count);
+    for (double& p : params) p = read_double(in, "parameter");
+    detector.net_->set_parameters(params);
+    return detector;
+}
+
+std::size_t NnDetector::alphabet_size() const {
+    require(net_.has_value(), "neural-net detector is not trained");
+    return alphabet_size_;
+}
+
+}  // namespace adiv

@@ -1,0 +1,98 @@
+// Rule-learning detector — an extension detector modeled on the RIPPER-based
+// data model of Warrender et al. 1999 (the study's reference [20]).
+//
+// Training compresses the stream into distinct (context -> next-symbol)
+// distributions and then learns an ordered rule list by sequential covering:
+// each rule is a conjunction of (context position == symbol) conditions
+// predicting the most likely next symbol among the contexts it covers, grown
+// greedily by Laplace-corrected precision. A default rule (global majority)
+// closes the list.
+//
+// At test time the first matching rule fires. If its prediction matches the
+// observed next symbol the response is 0; if it is violated, the rule's
+// confidence bounds the probability of what was seen instead (p <= 1 -
+// confidence), and the response is quantized exactly like the other
+// probabilistic detectors: a violated high-confidence rule (1 - confidence
+// at or below the floor) is maximally anomalous, weaker rules yield weak
+// responses equal to their confidence.
+#pragma once
+
+#include <iosfwd>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "detect/detector.hpp"
+#include "seq/conditional_model.hpp"
+
+namespace adiv {
+
+/// One conjunct: context[position] == value.
+struct RuleCondition {
+    std::size_t position = 0;
+    Symbol value = 0;
+};
+
+/// An ordered classification rule over a DW-1 context.
+struct SequenceRule {
+    std::vector<RuleCondition> conditions;  ///< empty = always matches
+    Symbol prediction = 0;                  ///< expected next symbol
+    double confidence = 0.0;                ///< covered-weight precision
+    std::uint64_t support = 0;              ///< training observations covered
+
+    [[nodiscard]] bool matches(SymbolView context) const noexcept {
+        for (const RuleCondition& c : conditions)
+            if (context[c.position] != c.value) return false;
+        return true;
+    }
+};
+
+struct RuleDetectorConfig {
+    /// Stop growing a rule once its Laplace precision reaches this.
+    double target_precision = 0.999;
+    /// Maximum conditions per rule (cap on specialization).
+    std::size_t max_conditions = 4;
+    /// Maximum rules before the default rule closes the list.
+    std::size_t max_rules = 256;
+    /// Response quantizer floor (see detect/detector.hpp).
+    double probability_floor = 0.005;
+};
+
+class RuleDetector final : public SequenceDetector {
+public:
+    explicit RuleDetector(std::size_t window_length, RuleDetectorConfig config = {});
+
+    [[nodiscard]] std::string name() const override { return "rule"; }
+    [[nodiscard]] std::size_t window_length() const override { return window_length_; }
+
+    void train(const EventStream& training) override;
+    [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
+
+    /// Writes the trained model body in the adiv text format; pair with
+    /// load_model. Most callers use io/model_io, which adds a typed envelope.
+    void save_model(std::ostream& out) const;
+    /// Restores a model written by save_model. Throws DataError on corrupt,
+    /// truncated, or inconsistent input.
+    static RuleDetector load_model(std::istream& in);
+
+    /// Alphabet size of the training data; throws before train().
+    [[nodiscard]] std::size_t alphabet_size() const override;
+
+    [[nodiscard]] const RuleDetectorConfig& config() const noexcept { return config_; }
+
+    /// The learned ordered rule list (last entry is the default rule).
+    [[nodiscard]] const std::vector<SequenceRule>& rules() const;
+
+    /// The first rule matching a DW-1 context (always exists after train()).
+    [[nodiscard]] const SequenceRule& rule_for(SymbolView context) const;
+
+private:
+    std::size_t window_length_;
+    RuleDetectorConfig config_;
+    ResponseQuantizer quantizer_;
+    std::size_t alphabet_size_ = 0;
+    std::optional<std::vector<SequenceRule>> rules_;
+};
+
+}  // namespace adiv

@@ -1,0 +1,49 @@
+// Stide (Forrest et al. 1996; Warrender et al. 1999).
+//
+// Normal behaviour is the set of distinct DW-length sequences in the training
+// data. A test window scores 1 when it does not occur in that database and 0
+// when it does. No frequencies, no probabilities: Stide is blind to rare
+// sequences and, by the study's results, to any minimal foreign sequence
+// longer than its detector window.
+#pragma once
+
+#include <iosfwd>
+
+#include <optional>
+
+#include "detect/detector.hpp"
+#include "seq/ngram_table.hpp"
+
+namespace adiv {
+
+class StideDetector final : public SequenceDetector {
+public:
+    /// window_length must be >= 1 (the study uses >= 2; see Section 6).
+    explicit StideDetector(std::size_t window_length);
+
+    [[nodiscard]] std::string name() const override { return "stide"; }
+    [[nodiscard]] std::size_t window_length() const override { return window_length_; }
+
+    void train(const EventStream& training) override;
+    [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
+
+    /// Writes the trained model body in the adiv text format; pair with
+    /// load_model. Most callers use io/model_io, which adds a typed envelope.
+    void save_model(std::ostream& out) const;
+    /// Restores a model written by save_model. Throws DataError on corrupt,
+    /// truncated, or inconsistent input.
+    static StideDetector load_model(std::istream& in);
+
+    /// Alphabet size of the training data; throws before train().
+    [[nodiscard]] std::size_t alphabet_size() const override;
+
+    /// Size of the normal database (distinct training windows).
+    [[nodiscard]] std::size_t normal_database_size() const;
+
+private:
+    std::size_t window_length_;
+    std::optional<NgramTable> normal_;
+};
+
+
+}  // namespace adiv

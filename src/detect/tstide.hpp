@@ -1,0 +1,53 @@
+// t-Stide ("stide with frequency threshold", Warrender et al. 1999).
+//
+// An extension detector, not one of the paper's four: like Stide it matches
+// test windows against the normal database, but windows whose training
+// frequency falls below a rarity threshold are treated as anomalous too.
+// Its coverage therefore sits between Stide's (foreign sequences only) and
+// the Markov detector's (foreign + conditionally rare); the ablation bench
+// measures exactly that.
+#pragma once
+
+#include <iosfwd>
+
+#include <optional>
+
+#include "detect/detector.hpp"
+#include "seq/ngram_table.hpp"
+
+namespace adiv {
+
+struct TstideConfig {
+    /// Windows with relative training frequency below this are anomalous.
+    double rare_threshold = 0.005;
+};
+
+class TstideDetector final : public SequenceDetector {
+public:
+    explicit TstideDetector(std::size_t window_length, TstideConfig config = {});
+
+    [[nodiscard]] std::string name() const override { return "t-stide"; }
+    [[nodiscard]] std::size_t window_length() const override { return window_length_; }
+
+    void train(const EventStream& training) override;
+    [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
+
+    /// Writes the trained model body in the adiv text format; pair with
+    /// load_model. Most callers use io/model_io, which adds a typed envelope.
+    void save_model(std::ostream& out) const;
+    /// Restores a model written by save_model. Throws DataError on corrupt,
+    /// truncated, or inconsistent input.
+    static TstideDetector load_model(std::istream& in);
+
+    /// Alphabet size of the training data; throws before train().
+    [[nodiscard]] std::size_t alphabet_size() const override;
+
+    [[nodiscard]] const TstideConfig& config() const noexcept { return config_; }
+
+private:
+    std::size_t window_length_;
+    TstideConfig config_;
+    std::optional<NgramTable> normal_;
+};
+
+}  // namespace adiv

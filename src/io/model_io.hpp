@@ -1,0 +1,39 @@
+// Model persistence: save a trained detector, load it back, resume scoring.
+//
+// Format: a one-line envelope `adiv-model 1 <kind>` followed by the
+// detector's own body (each detector implements save_model/load_model for
+// its body). The format is plain text — diffable, greppable, and exact:
+// doubles round-trip via 17-significant-digit decimal.
+//
+// Typical use:
+//   auto detector = make_detector(DetectorKind::Stide, 6);
+//   detector->train(corpus.training());
+//   save_detector_file(*detector, "stide6.adiv");
+//   ...
+//   auto restored = load_detector_file("stide6.adiv");
+//   restored->score(stream);   // no retraining
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "detect/detector.hpp"
+#include "detect/registry.hpp"
+
+namespace adiv {
+
+/// Writes envelope + body. The detector must be trained.
+/// Throws InvalidArgument for untrained detectors and for detector types
+/// outside the registry (a custom SequenceDetector subclass).
+void save_detector(const SequenceDetector& detector, std::ostream& out);
+
+/// Reads envelope + body; returns the reconstructed, ready-to-score
+/// detector. Throws DataError on corrupt input or unsupported versions.
+std::unique_ptr<SequenceDetector> load_detector(std::istream& in);
+
+/// File-path conveniences. Throw DataError when the file cannot be opened.
+void save_detector_file(const SequenceDetector& detector, const std::string& path);
+std::unique_ptr<SequenceDetector> load_detector_file(const std::string& path);
+
+}  // namespace adiv

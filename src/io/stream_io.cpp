@@ -1,0 +1,108 @@
+#include "io/stream_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/text_serial.hpp"
+
+namespace adiv {
+
+namespace {
+constexpr int kFormatVersion = 1;
+
+std::ofstream open_out(const std::string& path) {
+    std::ofstream out(path);
+    require_data(out.good(), "cannot open '" + path + "' for writing");
+    return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+    std::ifstream in(path);
+    require_data(in.good(), "cannot open '" + path + "' for reading");
+    return in;
+}
+}  // namespace
+
+void save_stream(const EventStream& stream, std::ostream& out) {
+    out << "adiv-stream " << kFormatVersion << ' ' << stream.alphabet_size() << ' '
+        << stream.size() << '\n';
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        out << stream[i];
+        out << ((i + 1) % 20 == 0 ? '\n' : ' ');
+    }
+    out << '\n';
+}
+
+EventStream load_stream(std::istream& in) {
+    expect_tag(in, "adiv-stream");
+    const std::uint64_t version = read_u64(in, "format version");
+    require_data(version == kFormatVersion,
+                 "unsupported adiv-stream format version " + std::to_string(version));
+    const std::size_t alphabet = read_size(in, "alphabet size");
+    const std::size_t length = read_size(in, "stream length");
+    Sequence events;
+    events.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        events.push_back(static_cast<Symbol>(read_u64(in, "stream symbol")));
+    return EventStream(alphabet, std::move(events));
+}
+
+void save_stream_file(const EventStream& stream, const std::string& path) {
+    auto out = open_out(path);
+    save_stream(stream, out);
+    require_data(out.good(), "write to '" + path + "' failed");
+}
+
+EventStream load_stream_file(const std::string& path) {
+    auto in = open_in(path);
+    return load_stream(in);
+}
+
+void save_trace(const Alphabet& alphabet, const EventStream& stream,
+                std::ostream& out) {
+    require(alphabet.size() == stream.alphabet_size(),
+            "alphabet does not match the stream's alphabet size");
+    out << "adiv-trace " << kFormatVersion << ' ' << alphabet.size() << ' '
+        << stream.size() << '\n';
+    for (std::size_t i = 0; i < alphabet.size(); ++i)
+        out << alphabet.name(static_cast<Symbol>(i)) << '\n';
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        out << alphabet.name(stream[i]);
+        out << ((i + 1) % 10 == 0 ? '\n' : ' ');
+    }
+    out << '\n';
+}
+
+std::pair<Alphabet, EventStream> load_trace(std::istream& in) {
+    expect_tag(in, "adiv-trace");
+    const std::uint64_t version = read_u64(in, "format version");
+    require_data(version == kFormatVersion,
+                 "unsupported adiv-trace format version " + std::to_string(version));
+    const std::size_t alphabet_size = read_size(in, "alphabet size");
+    const std::size_t length = read_size(in, "trace length");
+    std::vector<std::string> names;
+    names.reserve(alphabet_size);
+    for (std::size_t i = 0; i < alphabet_size; ++i)
+        names.push_back(read_token(in, "alphabet name"));
+    Alphabet alphabet(names);
+    Sequence events;
+    events.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        events.push_back(alphabet.id(read_token(in, "trace symbol")));
+    return {std::move(alphabet), EventStream(alphabet_size, std::move(events))};
+}
+
+void save_trace_file(const Alphabet& alphabet, const EventStream& stream,
+                     const std::string& path) {
+    auto out = open_out(path);
+    save_trace(alphabet, stream, out);
+    require_data(out.good(), "write to '" + path + "' failed");
+}
+
+std::pair<Alphabet, EventStream> load_trace_file(const std::string& path) {
+    auto in = open_in(path);
+    return load_trace(in);
+}
+
+}  // namespace adiv

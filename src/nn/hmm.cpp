@@ -1,0 +1,218 @@
+#include "nn/hmm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+Hmm::Hmm(std::size_t alphabet_size, HmmConfig config)
+    : alphabet_size_(alphabet_size),
+      config_(config),
+      pi_(config.states, 0.0),
+      a_(config.states == 0 ? 1 : config.states, config.states == 0 ? 1 : config.states),
+      b_(config.states == 0 ? 1 : config.states, alphabet_size == 0 ? 1 : alphabet_size) {
+    require(alphabet_size > 0, "alphabet size must be positive");
+    require(config.states >= 1, "HMM needs at least one state");
+    require(config.iterations >= 1, "HMM needs at least one Baum-Welch iteration");
+    Rng rng(config.seed);
+    randomize(rng);
+}
+
+void Hmm::randomize(Rng& rng) {
+    const std::size_t n = config_.states;
+    auto normalize = [](double* row, std::size_t len) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < len; ++i) sum += row[i];
+        for (std::size_t i = 0; i < len; ++i) row[i] /= sum;
+    };
+    for (std::size_t i = 0; i < n; ++i) pi_[i] = 1.0 + rng.uniform();
+    normalize(pi_.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) a_.at(i, j) = 1.0 + rng.uniform();
+        normalize(&a_.at(i, 0), n);
+        // Symmetry breaking: a near-uniform emission init leaves Baum-Welch
+        // in the uniform saddle for many iterations; biasing each state
+        // toward a distinct symbol gives the states identities to refine.
+        for (std::size_t k = 0; k < alphabet_size_; ++k)
+            b_.at(i, k) = 0.25 + 0.25 * rng.uniform() +
+                          (k == i % alphabet_size_ ? 2.0 : 0.0);
+        normalize(&b_.at(i, 0), alphabet_size_);
+    }
+}
+
+void Hmm::set_parameters(std::vector<double> pi, Matrix transitions,
+                         Matrix emissions) {
+    require(pi.size() == config_.states, "pi size mismatch");
+    require(transitions.rows() == config_.states &&
+                transitions.cols() == config_.states,
+            "transition matrix shape mismatch");
+    require(emissions.rows() == config_.states &&
+                emissions.cols() == alphabet_size_,
+            "emission matrix shape mismatch");
+    pi_ = std::move(pi);
+    a_ = std::move(transitions);
+    b_ = std::move(emissions);
+}
+
+namespace {
+/// Scaled forward pass. alpha is T x N row-major; scales[t] is the inverse
+/// normalizer at step t. Returns total log-likelihood.
+double forward_scaled(const std::vector<double>& pi, const Matrix& a,
+                      const Matrix& b, SymbolView obs, std::vector<double>& alpha,
+                      std::vector<double>& scales) {
+    const std::size_t n = pi.size();
+    const std::size_t t_max = obs.size();
+    alpha.assign(t_max * n, 0.0);
+    scales.assign(t_max, 0.0);
+    double log_like = 0.0;
+    for (std::size_t i = 0; i < n; ++i) alpha[i] = pi[i] * b.at(i, obs[0]);
+    for (std::size_t t = 0; t < t_max; ++t) {
+        double* cur = &alpha[t * n];
+        if (t > 0) {
+            const double* prev = &alpha[(t - 1) * n];
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc = 0.0;
+                for (std::size_t i = 0; i < n; ++i) acc += prev[i] * a.at(i, j);
+                cur[j] = acc * b.at(j, obs[t]);
+            }
+        }
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) sum += cur[j];
+        if (sum <= 0.0) sum = 1e-300;  // degenerate: observation impossible
+        scales[t] = 1.0 / sum;
+        for (std::size_t j = 0; j < n; ++j) cur[j] *= scales[t];
+        log_like += std::log(sum);
+    }
+    return log_like;
+}
+}  // namespace
+
+double Hmm::log_likelihood(SymbolView observations) const {
+    require(!observations.empty(), "log-likelihood of empty sequence");
+    for (Symbol s : observations)
+        require(s < alphabet_size_, "observation outside alphabet");
+    std::vector<double> alpha, scales;
+    const double ll =
+        forward_scaled(pi_, a_, b_, observations, alpha, scales);
+    return ll / static_cast<double>(observations.size());
+}
+
+double Hmm::fit(SymbolView obs) {
+    require(obs.size() >= 2, "Baum-Welch needs at least 2 observations");
+    for (Symbol s : obs) require(s < alphabet_size_, "observation outside alphabet");
+
+    const std::size_t n = config_.states;
+    const std::size_t t_max = obs.size();
+    std::vector<double> alpha, beta(t_max * n), scales;
+    double prev_ll = -1e300;
+
+    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+        const double ll = forward_scaled(pi_, a_, b_, obs, alpha, scales);
+
+        // Scaled backward pass (same scales as forward).
+        for (std::size_t j = 0; j < n; ++j) beta[(t_max - 1) * n + j] = scales[t_max - 1];
+        for (std::size_t t = t_max - 1; t > 0; --t) {
+            const double* next = &beta[t * n];
+            double* cur = &beta[(t - 1) * n];
+            for (std::size_t i = 0; i < n; ++i) {
+                double acc = 0.0;
+                for (std::size_t j = 0; j < n; ++j)
+                    acc += a_.at(i, j) * b_.at(j, obs[t]) * next[j];
+                cur[i] = acc * scales[t - 1];
+            }
+        }
+
+        // Accumulate expected counts.
+        Matrix a_num(n, n, 0.0);
+        Matrix b_num(n, alphabet_size_, 0.0);
+        std::vector<double> a_den(n, 0.0), b_den(n, 0.0), pi_new(n, 0.0);
+        for (std::size_t t = 0; t < t_max; ++t) {
+            const double* al = &alpha[t * n];
+            const double* be = &beta[t * n];
+            for (std::size_t i = 0; i < n; ++i) {
+                // gamma_t(i) proportional to alpha*beta / scale_t (scaled
+                // quantities already fold the normalizers in).
+                const double gamma = al[i] * be[i] / scales[t];
+                b_num.at(i, obs[t]) += gamma;
+                b_den[i] += gamma;
+                if (t == 0) pi_new[i] = gamma;
+                if (t + 1 < t_max) {
+                    a_den[i] += gamma;
+                    const double* be_next = &beta[(t + 1) * n];
+                    for (std::size_t j = 0; j < n; ++j) {
+                        const double xi =
+                            al[i] * a_.at(i, j) * b_.at(j, obs[t + 1]) * be_next[j];
+                        a_num.at(i, j) += xi;
+                    }
+                }
+            }
+        }
+
+        // Re-estimate with a tiny floor so no probability hits exact zero
+        // (zero rows would freeze Baum-Welch).
+        const double eps = 1e-12;
+        for (std::size_t i = 0; i < n; ++i) {
+            pi_[i] = pi_new[i];
+            for (std::size_t j = 0; j < n; ++j)
+                a_.at(i, j) = (a_num.at(i, j) + eps) / (a_den[i] + eps * static_cast<double>(n));
+            for (std::size_t k = 0; k < alphabet_size_; ++k)
+                b_.at(i, k) = (b_num.at(i, k) + eps) /
+                              (b_den[i] + eps * static_cast<double>(alphabet_size_));
+        }
+        double pi_sum = 0.0;
+        for (double v : pi_) pi_sum += v;
+        for (double& v : pi_) v = pi_sum > 0.0 ? v / pi_sum : 1.0 / static_cast<double>(n);
+
+        if (ll - prev_ll <
+            config_.convergence * static_cast<double>(t_max) && iter > 0)
+            break;
+        prev_ll = ll;
+    }
+    return log_likelihood(obs);
+}
+
+std::vector<double> Hmm::predictive_probabilities(SymbolView observations) const {
+    std::vector<double> out;
+    out.reserve(observations.size());
+    Filter filter(*this);
+    for (Symbol s : observations) out.push_back(filter.step(s));
+    return out;
+}
+
+Hmm::Filter::Filter(const Hmm& model)
+    : model_(&model), belief_(model.pi_), scratch_(model.states(), 0.0) {}
+
+void Hmm::Filter::reset() { belief_ = model_->pi_; }
+
+double Hmm::Filter::step(Symbol symbol) {
+    require(symbol < model_->alphabet_size_, "observation outside alphabet");
+    const std::size_t n = model_->states();
+    // P(x | prefix) = sum_j belief(j) * B(j, x), where belief is the
+    // predictive state distribution (already propagated through A).
+    double prob = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+        prob += belief_[j] * model_->b_.at(j, symbol);
+    // Condition on the observation...
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        scratch_[j] = belief_[j] * model_->b_.at(j, symbol);
+        sum += scratch_[j];
+    }
+    if (sum <= 0.0) {
+        // Impossible observation: reset to the prior rather than divide by 0.
+        scratch_ = model_->pi_;
+        sum = 1.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) scratch_[j] /= sum;
+    // ...and propagate one step through the transition matrix.
+    for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += scratch_[i] * model_->a_.at(i, j);
+        belief_[j] = acc;
+    }
+    return prob;
+}
+
+}  // namespace adiv

@@ -1,0 +1,82 @@
+// Discrete hidden Markov model: the probabilistic substrate for the HMM
+// detector (Warrender, Forrest & Pearlmutter 1999 — the paper's reference
+// [20] — evaluate an HMM alongside Stide and t-Stide as an "alternative data
+// model" for system-call streams).
+//
+// The model is the classic (pi, A, B) triple over N hidden states and M
+// observation symbols, trained with Baum-Welch (scaled forward-backward, so
+// million-element sequences do not underflow) and queried through a scaled
+// forward filter that yields one-step-ahead predictive probabilities
+// P(x_t | x_1..x_{t-1}) — exactly the quantity the detector thresholds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "seq/types.hpp"
+#include "util/rng.hpp"
+
+namespace adiv {
+
+struct HmmConfig {
+    std::size_t states = 8;            ///< hidden state count N
+    std::size_t iterations = 30;       ///< Baum-Welch iterations
+    double convergence = 1e-6;         ///< stop when log-likelihood gain/obs < this
+    std::uint64_t seed = 7;            ///< random initialization seed
+};
+
+class Hmm {
+public:
+    /// Untrained model with randomized (row-stochastic) parameters.
+    Hmm(std::size_t alphabet_size, HmmConfig config = {});
+
+    [[nodiscard]] std::size_t states() const noexcept { return config_.states; }
+    [[nodiscard]] std::size_t alphabet_size() const noexcept { return alphabet_size_; }
+    [[nodiscard]] const HmmConfig& config() const noexcept { return config_; }
+
+    /// Baum-Welch on one observation sequence. Returns the final
+    /// log-likelihood per observation. Requires at least 2 observations.
+    double fit(SymbolView observations);
+
+    /// Log-likelihood per observation under the current parameters.
+    [[nodiscard]] double log_likelihood(SymbolView observations) const;
+
+    /// One-step-ahead predictive probabilities: out[t] = P(x_t | x_0..t-1),
+    /// with out[0] = P(x_0). Same length as the input.
+    [[nodiscard]] std::vector<double> predictive_probabilities(
+        SymbolView observations) const;
+
+    /// Incremental filter for streaming use: holds the current state belief.
+    class Filter {
+    public:
+        explicit Filter(const Hmm& model);
+        /// Probability of `symbol` being next, given everything consumed so
+        /// far; then consumes it (updates the belief).
+        double step(Symbol symbol);
+        /// Resets the belief to the prior.
+        void reset();
+
+    private:
+        const Hmm* model_;
+        std::vector<double> belief_;  // P(state | consumed prefix)
+        std::vector<double> scratch_;
+    };
+
+    // Parameter access (tests, serialization).
+    [[nodiscard]] const std::vector<double>& initial() const noexcept { return pi_; }
+    [[nodiscard]] const Matrix& transitions() const noexcept { return a_; }
+    [[nodiscard]] const Matrix& emissions() const noexcept { return b_; }
+    void set_parameters(std::vector<double> pi, Matrix transitions, Matrix emissions);
+
+private:
+    std::size_t alphabet_size_;
+    HmmConfig config_;
+    std::vector<double> pi_;  // N
+    Matrix a_;                // N x N, row-stochastic
+    Matrix b_;                // N x M, row-stochastic
+
+    void randomize(Rng& rng);
+};
+
+}  // namespace adiv

@@ -1,0 +1,51 @@
+// Symbol alphabet: the mapping between human-readable event names and the
+// dense symbol ids the detectors operate on.
+//
+// The paper's corpus uses an anonymous alphabet of size 8; the example
+// programs use named alphabets (system-call names, shell commands). Either
+// way, detectors only ever see dense ids, so an Alphabet can also be created
+// nameless with just a size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace adiv {
+
+class Alphabet {
+public:
+    /// Nameless alphabet of `size` symbols; names default to "s0".."sN-1".
+    explicit Alphabet(std::size_t size);
+
+    /// Named alphabet; ids are assigned in order. Names must be unique and
+    /// non-empty.
+    explicit Alphabet(const std::vector<std::string>& names);
+
+    [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+    /// Name of a symbol id. Throws InvalidArgument when out of range.
+    [[nodiscard]] const std::string& name(Symbol s) const;
+
+    /// Id of a name. Throws InvalidArgument for unknown names.
+    [[nodiscard]] Symbol id(std::string_view name) const;
+
+    /// True when the id is a member of this alphabet.
+    [[nodiscard]] bool valid(Symbol s) const noexcept { return s < names_.size(); }
+
+    /// True when every symbol of the view is a member.
+    [[nodiscard]] bool valid(SymbolView seq) const noexcept;
+
+    /// Renders a sequence as space-separated names, e.g. "open read close".
+    [[nodiscard]] std::string format(SymbolView seq) const;
+
+private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, Symbol> ids_;
+};
+
+}  // namespace adiv

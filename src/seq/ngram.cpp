@@ -1,0 +1,24 @@
+#include "seq/ngram.hpp"
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+NgramCodec::NgramCodec(std::size_t alphabet_size) : alphabet_size_(alphabet_size) {
+    require(alphabet_size > 0, "alphabet size must be positive");
+    const auto width = std::bit_width(alphabet_size - 1);
+    bits_ = width == 0 ? 1u : static_cast<unsigned>(width);
+}
+
+Sequence NgramCodec::decode(NgramKey key, std::size_t length) const {
+    require(length <= max_length(), "n-gram length exceeds codec capacity");
+    Sequence out(length);
+    const NgramKey symbol_mask = (NgramKey{1} << bits_) - 1;
+    for (std::size_t i = length; i > 0; --i) {
+        out[i - 1] = static_cast<Symbol>(key & symbol_mask);
+        key >>= bits_;
+    }
+    return out;
+}
+
+}  // namespace adiv

@@ -1,0 +1,84 @@
+// Packed n-gram codec.
+//
+// Fixed-length windows are the unit of work for every detector, and the
+// normal-behaviour databases hold millions of window observations. Storing
+// each window as a vector would be slow and cache-hostile, so windows are
+// packed into a 128-bit integer key: ceil(log2(alphabet)) bits per symbol,
+// most-recent symbol in the low bits. With the paper's alphabet of 8 this
+// supports windows up to 42 symbols; even a 256-symbol alphabet supports the
+// full DW range of the study (2..15, plus one for the Markov continuation).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "seq/types.hpp"
+
+namespace adiv {
+
+/// Packed window key. Equality of keys is equality of (same-length) windows.
+/// (128-bit integers are a GCC/Clang extension; __extension__ silences the
+/// pedantic diagnostic — the library targets those compilers.)
+__extension__ typedef unsigned __int128 NgramKey;
+
+/// Hash functor for NgramKey usable with unordered containers.
+struct NgramKeyHash {
+    std::size_t operator()(NgramKey key) const noexcept {
+        // Mix the two 64-bit halves through a splitmix-style finalizer.
+        auto lo = static_cast<std::uint64_t>(key);
+        auto hi = static_cast<std::uint64_t>(key >> 64);
+        std::uint64_t z = lo ^ (hi * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};
+
+class NgramCodec {
+public:
+    /// Codec for windows over an alphabet of the given size.
+    /// Throws InvalidArgument for size 0.
+    explicit NgramCodec(std::size_t alphabet_size);
+
+    [[nodiscard]] std::size_t alphabet_size() const noexcept { return alphabet_size_; }
+
+    /// Bits used per symbol (at least 1).
+    [[nodiscard]] unsigned bits_per_symbol() const noexcept { return bits_; }
+
+    /// Longest window this codec can pack.
+    [[nodiscard]] std::size_t max_length() const noexcept { return 128u / bits_; }
+
+    /// Packs a window. Requires gram.size() <= max_length() and every symbol
+    /// within the alphabet (unchecked in release paths; validated by
+    /// EventStream construction upstream).
+    [[nodiscard]] NgramKey encode(SymbolView gram) const noexcept {
+        NgramKey key = 0;
+        for (Symbol s : gram) key = (key << bits_) | s;
+        return key;
+    }
+
+    /// Incremental slide: drops the oldest symbol of a length-n key and
+    /// appends `incoming`, producing the key of the next window. `length_mask`
+    /// must come from mask_for(n).
+    [[nodiscard]] NgramKey slide(NgramKey key, Symbol incoming,
+                                 NgramKey length_mask) const noexcept {
+        return ((key << bits_) | incoming) & length_mask;
+    }
+
+    /// Mask covering length*bits low bits; pairs with slide().
+    [[nodiscard]] NgramKey mask_for(std::size_t length) const noexcept {
+        const unsigned total = bits_ * static_cast<unsigned>(length);
+        if (total >= 128) return ~NgramKey{0};
+        return (NgramKey{1} << total) - 1;
+    }
+
+    /// Unpacks a key back into the length-n window it encodes.
+    [[nodiscard]] Sequence decode(NgramKey key, std::size_t length) const;
+
+private:
+    std::size_t alphabet_size_;
+    unsigned bits_;
+};
+
+}  // namespace adiv

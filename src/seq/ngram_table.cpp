@@ -1,0 +1,84 @@
+#include "seq/ngram_table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+NgramTable::NgramTable(std::size_t alphabet_size, std::size_t length)
+    : codec_(alphabet_size), length_(length) {
+    require(length > 0, "n-gram length must be positive");
+    require(length <= codec_.max_length(),
+            "n-gram length " + std::to_string(length) + " exceeds codec capacity " +
+                std::to_string(codec_.max_length()) + " for alphabet size " +
+                std::to_string(alphabet_size));
+}
+
+NgramTable NgramTable::from_stream(const EventStream& stream, std::size_t length) {
+    NgramTable table(stream.alphabet_size(), length);
+    table.add_stream(stream);
+    return table;
+}
+
+void NgramTable::add_stream(const EventStream& stream) {
+    require(stream.alphabet_size() == codec_.alphabet_size(),
+            "stream alphabet does not match table alphabet");
+    if (stream.size() < length_) return;
+    const SymbolView all = stream.view();
+    const NgramKey mask = codec_.mask_for(length_);
+    NgramKey key = codec_.encode(all.subspan(0, length_));
+    ++counts_[key];
+    for (std::size_t pos = length_; pos < all.size(); ++pos) {
+        key = codec_.slide(key, all[pos], mask);
+        ++counts_[key];
+    }
+    total_ += all.size() - length_ + 1;
+}
+
+void NgramTable::add(SymbolView gram, std::uint64_t count) {
+    require(gram.size() == length_, "gram length does not match table length");
+    counts_[codec_.encode(gram)] += count;
+    total_ += count;
+}
+
+std::uint64_t NgramTable::count(SymbolView gram) const {
+    require(gram.size() == length_, "gram length does not match table length");
+    return count_key(codec_.encode(gram));
+}
+
+std::uint64_t NgramTable::count_key(NgramKey key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double NgramTable::relative_frequency(SymbolView gram) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(gram)) / static_cast<double>(total_);
+}
+
+double NgramTable::relative_frequency_key(NgramKey key) const {
+    return total_ == 0
+               ? 0.0
+               : static_cast<double>(count_key(key)) / static_cast<double>(total_);
+}
+
+void NgramTable::for_each(
+    const std::function<void(NgramKey, std::uint64_t)>& fn) const {
+    for (const auto& [key, count] : counts_) fn(key, count);
+}
+
+std::vector<std::pair<Sequence, std::uint64_t>> NgramTable::items_by_count() const {
+    std::vector<std::pair<NgramKey, std::uint64_t>> keyed(counts_.begin(), counts_.end());
+    std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    std::vector<std::pair<Sequence, std::uint64_t>> out;
+    out.reserve(keyed.size());
+    for (const auto& [key, count] : keyed)
+        out.emplace_back(codec_.decode(key, length_), count);
+    return out;
+}
+
+}  // namespace adiv

@@ -1,0 +1,95 @@
+#include "seq/stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+std::vector<RareGram> rare_grams(const NgramTable& table, double threshold) {
+    require(threshold > 0.0 && threshold < 1.0, "rare threshold must be in (0,1)");
+    std::vector<RareGram> out;
+    const double total = static_cast<double>(table.total());
+    if (total == 0.0) return out;
+    table.for_each([&](NgramKey key, std::uint64_t count) {
+        const double rel = static_cast<double>(count) / total;
+        if (rel < threshold) {
+            out.push_back(RareGram{table.codec().decode(key, table.length()), count, rel});
+        }
+    });
+    std::sort(out.begin(), out.end(), [](const RareGram& a, const RareGram& b) {
+        if (a.count != b.count) return a.count < b.count;
+        return a.gram < b.gram;
+    });
+    return out;
+}
+
+LengthCensus census(const EventStream& stream, std::size_t length,
+                    double rare_threshold) {
+    const NgramTable table = NgramTable::from_stream(stream, length);
+    LengthCensus c;
+    c.length = length;
+    c.windows = table.total();
+    c.distinct = table.distinct();
+    const double total = static_cast<double>(table.total());
+    std::uint64_t rare_windows = 0;
+    table.for_each([&](NgramKey, std::uint64_t count) {
+        const double rel = static_cast<double>(count) / total;
+        if (rel < rare_threshold) {
+            ++c.rare;
+            rare_windows += count;
+        } else {
+            ++c.common;
+        }
+    });
+    c.rare_mass = total == 0.0 ? 0.0 : static_cast<double>(rare_windows) / total;
+    return c;
+}
+
+double cycle_coverage(const EventStream& stream, SymbolView cycle) {
+    require(!cycle.empty(), "cycle must be non-empty");
+    const std::size_t L = cycle.size();
+    if (stream.window_count(L) == 0) return 0.0;
+
+    NgramCodec codec(stream.alphabet_size());
+    require(L <= codec.max_length(), "cycle too long for codec");
+    std::unordered_set<NgramKey, NgramKeyHash> rotations;
+    Sequence rot(cycle.begin(), cycle.end());
+    for (std::size_t r = 0; r < L; ++r) {
+        rotations.insert(codec.encode(rot));
+        std::rotate(rot.begin(), rot.begin() + 1, rot.end());
+    }
+
+    std::uint64_t matching = 0;
+    const SymbolView all = stream.view();
+    const NgramKey mask = codec.mask_for(L);
+    NgramKey key = codec.encode(all.subspan(0, L));
+    if (rotations.contains(key)) ++matching;
+    for (std::size_t pos = L; pos < all.size(); ++pos) {
+        key = codec.slide(key, all[pos], mask);
+        if (rotations.contains(key)) ++matching;
+    }
+    return static_cast<double>(matching) /
+           static_cast<double>(stream.window_count(L));
+}
+
+double deterministic_continuation_rate(const EventStream& stream, SymbolView cycle) {
+    require(!cycle.empty(), "cycle must be non-empty");
+    std::vector<Symbol> successor(stream.alphabet_size(), cycle.front());
+    std::vector<bool> in_cycle(stream.alphabet_size(), false);
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const Symbol s = cycle[i];
+        require(s < stream.alphabet_size(), "cycle symbol outside alphabet");
+        require(!in_cycle[s], "cycle symbols must be unique");
+        in_cycle[s] = true;
+        successor[s] = cycle[(i + 1) % cycle.size()];
+    }
+    if (stream.size() < 2) return 0.0;
+    std::uint64_t hits = 0;
+    for (std::size_t i = 1; i < stream.size(); ++i)
+        if (in_cycle[stream[i - 1]] && stream[i] == successor[stream[i - 1]]) ++hits;
+    return static_cast<double>(hits) / static_cast<double>(stream.size() - 1);
+}
+
+}  // namespace adiv

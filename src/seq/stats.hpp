@@ -1,0 +1,58 @@
+// Stream statistics: the measurements the paper makes about its corpus.
+//
+// Section 5.3 characterizes the training data by (a) the fraction composed of
+// the common base cycle, (b) the presence of rare sequences (relative
+// frequency < 0.5%, Warrender's definition), and (c) alphabet size and
+// length. The census here verifies those properties for generated corpora
+// and powers the corpus_census bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/ngram_table.hpp"
+#include "seq/stream.hpp"
+#include "seq/types.hpp"
+
+namespace adiv {
+
+/// The paper's rarity cutoff: a sequence is rare when its relative frequency
+/// in the training data is below 0.5% (Warrender et al. 1999, adopted in
+/// Section 5.3).
+inline constexpr double kDefaultRareThreshold = 0.005;
+
+/// A window that is present but rare in a table.
+struct RareGram {
+    Sequence gram;
+    std::uint64_t count = 0;
+    double relative_frequency = 0.0;
+};
+
+/// All windows of the table with 0 < relative frequency < threshold, sorted
+/// ascending by frequency then by symbols (deterministic).
+std::vector<RareGram> rare_grams(const NgramTable& table,
+                                 double threshold = kDefaultRareThreshold);
+
+/// Census of one window length of a stream.
+struct LengthCensus {
+    std::size_t length = 0;        ///< window length n
+    std::uint64_t windows = 0;     ///< total n-windows in the stream
+    std::size_t distinct = 0;      ///< distinct n-grams observed
+    std::size_t rare = 0;          ///< distinct n-grams below the rare threshold
+    std::size_t common = 0;        ///< distinct n-grams at/above the threshold
+    double rare_mass = 0.0;        ///< fraction of windows that are rare grams
+};
+
+LengthCensus census(const EventStream& stream, std::size_t length,
+                    double rare_threshold = kDefaultRareThreshold);
+
+/// Fraction of the stream's length-|cycle| windows that match some rotation
+/// of the base cycle — i.e. how much of the stream is "inside" clean cycle
+/// repetitions. The paper's corpus targets ~98%.
+double cycle_coverage(const EventStream& stream, SymbolView cycle);
+
+/// Fraction of positions whose symbol equals the pure-cycle continuation of
+/// the previous |cycle|-1 symbols; a second, stricter view of cleanliness.
+double deterministic_continuation_rate(const EventStream& stream, SymbolView cycle);
+
+}  // namespace adiv

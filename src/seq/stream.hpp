@@ -1,0 +1,69 @@
+// EventStream: a long run of categorical events plus its alphabet size.
+//
+// Invariant: every symbol in the stream is below alphabet_size. Detectors
+// train on one stream and score another; both sides rely on the invariant to
+// skip per-symbol validation in their hot loops.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace adiv {
+
+class EventStream {
+public:
+    /// Takes ownership of the events. Throws DataError if any symbol is
+    /// outside the alphabet.
+    EventStream(std::size_t alphabet_size, Sequence events);
+
+    /// Empty stream over the given alphabet.
+    explicit EventStream(std::size_t alphabet_size);
+
+    /// Empty stream over a trivial 1-symbol alphabet; a placeholder value for
+    /// aggregate members that are filled in later.
+    EventStream() : EventStream(1) {}
+
+    [[nodiscard]] std::size_t alphabet_size() const noexcept { return alphabet_size_; }
+    [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+    [[nodiscard]] Symbol operator[](std::size_t i) const noexcept { return events_[i]; }
+    [[nodiscard]] SymbolView view() const noexcept { return events_; }
+    [[nodiscard]] const Sequence& events() const noexcept { return events_; }
+
+    /// View of the window of `length` symbols starting at `pos`.
+    /// Requires pos + length <= size().
+    [[nodiscard]] SymbolView window(std::size_t pos, std::size_t length) const;
+
+    /// Number of complete windows of the given length: size-length+1, or 0.
+    [[nodiscard]] std::size_t window_count(std::size_t length) const noexcept;
+
+    /// Appends a symbol; throws DataError if outside the alphabet.
+    void push_back(Symbol s);
+
+    /// Appends a run of symbols; throws DataError if any is outside the
+    /// alphabet.
+    void append(SymbolView run);
+
+    /// Copy of the sub-stream [pos, pos+length).
+    [[nodiscard]] EventStream slice(std::size_t pos, std::size_t length) const;
+
+private:
+    std::size_t alphabet_size_;
+    Sequence events_;
+};
+
+/// Invokes fn(position, window_view) for every complete window of `length`
+/// symbols in the stream, sliding by one.
+template <typename Fn>
+void for_each_window(const EventStream& stream, std::size_t length, Fn&& fn) {
+    if (length == 0 || stream.size() < length) return;
+    const SymbolView all = stream.view();
+    const std::size_t n = stream.size() - length + 1;
+    for (std::size_t pos = 0; pos < n; ++pos)
+        fn(pos, all.subspan(pos, length));
+}
+
+}  // namespace adiv

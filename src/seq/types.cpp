@@ -1,0 +1,19 @@
+#include "seq/types.hpp"
+
+#include <algorithm>
+
+namespace adiv {
+
+bool same_sequence(SymbolView a, SymbolView b) noexcept {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool contains_subsequence(SymbolView haystack, SymbolView needle) noexcept {
+    if (needle.empty()) return true;
+    if (needle.size() > haystack.size()) return false;
+    const auto it = std::search(haystack.begin(), haystack.end(),
+                                needle.begin(), needle.end());
+    return it != haystack.end();
+}
+
+}  // namespace adiv

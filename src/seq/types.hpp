@@ -1,0 +1,31 @@
+// Fundamental types of the sequence substrate.
+//
+// All detectors in this library consume streams of categorical events
+// ("symbols"): system-call numbers, audit-event codes, user-command ids.
+// A symbol is a dense non-negative id below the alphabet size; a Sequence is
+// a short owned run of symbols (an n-gram, an anomaly); a stream is a long
+// run (training data, test data) represented by EventStream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adiv {
+
+/// Categorical event id. Dense in [0, alphabet_size).
+using Symbol = std::uint32_t;
+
+/// Short owned run of symbols — an n-gram, a window, an anomaly.
+using Sequence = std::vector<Symbol>;
+
+/// Read-only view over consecutive symbols.
+using SymbolView = std::span<const Symbol>;
+
+/// True if the two views have the same length and contents.
+bool same_sequence(SymbolView a, SymbolView b) noexcept;
+
+/// True if `needle` occurs as a contiguous subsequence of `haystack`.
+bool contains_subsequence(SymbolView haystack, SymbolView needle) noexcept;
+
+}  // namespace adiv

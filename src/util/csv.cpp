@@ -1,0 +1,28 @@
+#include "util/csv.hpp"
+
+namespace adiv {
+
+std::string csv_escape(std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\r\n") != std::string_view::npos;
+    if (!needs_quotes) return std::string(field);
+    std::string out;
+    out.reserve(field.size() + 2);
+    out.push_back('"');
+    for (char c : field) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i != 0) *out_ << ',';
+        *out_ << csv_escape(fields[i]);
+    }
+    *out_ << '\n';
+}
+
+}  // namespace adiv

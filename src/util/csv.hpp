@@ -1,0 +1,52 @@
+// Minimal CSV emission for experiment artifacts.
+//
+// Benches write their series both as human-readable ASCII and as CSV so the
+// figures can be re-plotted elsewhere. Quoting follows RFC 4180: fields
+// containing commas, quotes, or newlines are quoted and embedded quotes
+// doubled.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adiv {
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+/// Streams rows of string fields as CSV lines to an ostream.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+    /// Writes one row; fields are escaped as needed.
+    void row(const std::vector<std::string>& fields);
+
+    /// Convenience: writes a row from heterogeneous streamable values.
+    template <typename... Ts>
+    void row_of(const Ts&... values) {
+        std::vector<std::string> fields;
+        fields.reserve(sizeof...(values));
+        (fields.push_back(to_field(values)), ...);
+        row(fields);
+    }
+
+private:
+    template <typename T>
+    static std::string to_field(const T& value) {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(value);
+        } else {
+            std::ostringstream ss;
+            ss << value;
+            return ss.str();
+        }
+    }
+
+    std::ostream* out_;
+};
+
+}  // namespace adiv

@@ -1,0 +1,56 @@
+// Error types and invariant checks shared across the library.
+//
+// The library throws exceptions for contract violations at API boundaries
+// (bad parameters, malformed data) and uses ADIV_ASSERT for internal
+// invariants that indicate a library bug rather than caller error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace adiv {
+
+/// Caller passed an argument that violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Input data (stream, corpus, model file) is malformed or inconsistent.
+class DataError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A synthesis / search procedure could not satisfy its constraints
+/// (e.g. no injectable minimal foreign sequence exists for the request).
+class SynthesisError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Throws InvalidArgument with the given message unless cond holds.
+inline void require(bool cond, const std::string& message) {
+    if (!cond) throw InvalidArgument(message);
+}
+
+/// Throws DataError with the given message unless cond holds.
+inline void require_data(bool cond, const std::string& message) {
+    if (!cond) throw DataError(message);
+}
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+    std::fprintf(stderr, "adiv internal invariant violated: %s (%s:%d)\n", expr, file, line);
+    std::abort();
+}
+}  // namespace detail
+
+}  // namespace adiv
+
+/// Internal invariant check; active in all build types because the library's
+/// correctness claims (minimality, boundary safety) are the whole point.
+#define ADIV_ASSERT(expr) \
+    ((expr) ? void(0) : ::adiv::detail::assert_fail(#expr, __FILE__, __LINE__))

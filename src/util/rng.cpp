@@ -1,0 +1,61 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace adiv {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() noexcept {
+    if (has_spare_normal_) {
+        has_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    has_spare_normal_ = true;
+    return u * factor;
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) noexcept {
+    double total = 0.0;
+    for (double w : weights)
+        if (w > 0.0) total += w;
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] <= 0.0) continue;
+        target -= weights[i];
+        if (target < 0.0) return i;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i > 0; --i)
+        if (weights[i - 1] > 0.0) return i - 1;
+    return 0;
+}
+
+}  // namespace adiv

@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (data generation, anomaly
+// synthesis, neural-network initialization) draws from an explicitly seeded
+// Rng so that a given seed regenerates a corpus or an experiment bit-for-bit.
+// The generator is xoshiro256** (Blackman & Vigna), seeded through SplitMix64,
+// which is the recommended way to expand a 64-bit seed into the 256-bit state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace adiv {
+
+/// Expands a 64-bit seed into a stream of well-mixed 64-bit values.
+/// Used standalone for cheap hashing-style draws and to seed Xoshiro256ss.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state general-purpose PRNG.
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions, though the convenience members below avoid that dependency
+/// (libstdc++ distributions are not bit-reproducible across versions).
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5eedu) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& word : state_) word = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept { return next(); }
+
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+    /// method; exact (unbiased) and reproducible. bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1) with 53 bits of randomness.
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Bernoulli draw with success probability p (clamped to [0,1]).
+    bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Standard normal via Marsaglia polar method (reproducible).
+    double normal() noexcept;
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double stddev) noexcept {
+        return mean + stddev * normal();
+    }
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> items) noexcept {
+        return items[below(items.size())];
+    }
+
+    template <typename T>
+    const T& pick(const std::vector<T>& items) noexcept {
+        return items[below(items.size())];
+    }
+
+    /// Index drawn from the discrete distribution proportional to weights.
+    /// Requires at least one strictly positive weight.
+    std::size_t weighted_pick(std::span<const double> weights) noexcept;
+
+    /// Fisher-Yates shuffle, reproducible for a given seed.
+    template <typename T>
+    void shuffle(std::vector<T>& items) noexcept {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            using std::swap;
+            swap(items[i - 1], items[below(i)]);
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// subsystem its own stream while keeping a single experiment seed.
+    Rng fork() noexcept { return Rng(next()); }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+    double spare_normal_ = 0.0;
+    bool has_spare_normal_ = false;
+};
+
+}  // namespace adiv

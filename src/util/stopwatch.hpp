@@ -1,0 +1,26 @@
+// Wall-clock timing for the figure harnesses' progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace adiv {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+public:
+    Stopwatch() noexcept : start_(clock::now()) {}
+
+    void restart() noexcept { start_ = clock::now(); }
+
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace adiv

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace adiv {
+
+void TextTable::header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string>& row) {
+        if (row.size() > widths.size()) widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    absorb(header_);
+    for (const auto& row : rows_) absorb(row);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < row.size() ? row[i] : std::string{};
+            out << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 != widths.size()) out << "  ";
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths) total += w;
+        total += widths.empty() ? 0 : 2 * (widths.size() - 1);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& row : rows_) emit(row);
+    return out.str();
+}
+
+std::string fixed(double value, int places) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", places, value);
+    return buf;
+}
+
+std::string percent(double ratio, int places) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", places, ratio * 100.0);
+    return buf;
+}
+
+}  // namespace adiv

@@ -1,0 +1,68 @@
+// ASCII table rendering for bench/figure output.
+//
+// The figure harnesses print the paper's charts as text: aligned tables for
+// numeric series and star-grids for the performance maps. This module owns
+// the generic aligned-column table; the performance-map grid renderer lives
+// in core/ next to the map type it draws.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adiv {
+
+/// Column-aligned plain-text table. Collect rows, then render.
+class TextTable {
+public:
+    /// Sets the header row; optional.
+    void header(std::vector<std::string> cells);
+
+    /// Appends one data row. Rows may have differing widths; shorter rows
+    /// are padded with empty cells at render time.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: appends a row built from streamable values.
+    template <typename... Ts>
+    void add(const Ts&... values) {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(values));
+        (cells.push_back(stringify(values)), ...);
+        add_row(std::move(cells));
+    }
+
+    /// Renders the table with single-space-padded columns and a rule under
+    /// the header.
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+private:
+    template <typename T>
+    static std::string stringify(const T& value);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fixed(double value, int places = 3);
+
+/// Formats a ratio in [0,1] as a percentage string like "12.3%".
+std::string percent(double ratio, int places = 1);
+
+}  // namespace adiv
+
+#include <sstream>
+
+namespace adiv {
+template <typename T>
+std::string TextTable::stringify(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+        return std::string(value);
+    } else {
+        std::ostringstream ss;
+        ss << value;
+        return ss.str();
+    }
+}
+}  // namespace adiv

@@ -1,0 +1,70 @@
+// Helpers for the line-oriented text serialization format used by model and
+// stream persistence (io/model_io, io/stream_io).
+//
+// The format is whitespace-separated tokens with literal tags; doubles are
+// written with 17 significant digits, which round-trips IEEE-754 doubles
+// exactly. Readers throw DataError with the offending tag on any mismatch,
+// so a truncated or corrupted file fails loudly.
+#pragma once
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+/// Writes a double with enough digits for exact round-tripping.
+inline void write_double(std::ostream& out, double value) {
+    out << std::setprecision(17) << value;
+}
+
+/// Reads the next whitespace-separated token; throws DataError at EOF.
+inline std::string read_token(std::istream& in, const std::string& what) {
+    std::string token;
+    if (!(in >> token))
+        throw DataError("model file truncated while reading " + what);
+    return token;
+}
+
+/// Reads a token and requires it to equal `tag` exactly.
+inline void expect_tag(std::istream& in, const std::string& tag) {
+    const std::string token = read_token(in, "tag '" + tag + "'");
+    require_data(token == tag,
+                 "model file corrupt: expected '" + tag + "', found '" + token + "'");
+}
+
+/// Reads an unsigned integer token.
+inline std::uint64_t read_u64(std::istream& in, const std::string& what) {
+    const std::string token = read_token(in, what);
+    try {
+        std::size_t consumed = 0;
+        const std::uint64_t value = std::stoull(token, &consumed);
+        require_data(consumed == token.size(), "trailing junk in " + what);
+        return value;
+    } catch (const std::logic_error&) {
+        throw DataError("model file corrupt: '" + token + "' is not a valid " + what);
+    }
+}
+
+/// Reads a size_t token.
+inline std::size_t read_size(std::istream& in, const std::string& what) {
+    return static_cast<std::size_t>(read_u64(in, what));
+}
+
+/// Reads a double token.
+inline double read_double(std::istream& in, const std::string& what) {
+    const std::string token = read_token(in, what);
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(token, &consumed);
+        require_data(consumed == token.size(), "trailing junk in " + what);
+        return value;
+    } catch (const std::logic_error&) {
+        throw DataError("model file corrupt: '" + token + "' is not a valid " + what);
+    }
+}
+
+}  // namespace adiv

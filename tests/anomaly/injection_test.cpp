@@ -1,0 +1,171 @@
+#include "anomaly/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anomaly/foreign.hpp"
+#include "anomaly/mfs_builder.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(IncidentSpanMath, MiddleOfStream) {
+    // Anomaly of 8 at position 100, DW 5, stream 1000 (Figure 2's setup):
+    // windows 96..107 touch it.
+    const IncidentSpan span = incident_span(100, 8, 5, 1000);
+    EXPECT_EQ(span.first, 96u);
+    EXPECT_EQ(span.last, 107u);
+    EXPECT_EQ(span.count(), 12u);
+}
+
+TEST(IncidentSpanMath, SpanCountFormula) {
+    // Interior placement: count = AS + DW - 1.
+    for (std::size_t dw = 2; dw <= 10; ++dw)
+        for (std::size_t as = 2; as <= 9; ++as)
+            EXPECT_EQ(incident_span(50, as, dw, 500).count(), as + dw - 1);
+}
+
+TEST(IncidentSpanMath, ClampsAtStreamStart) {
+    const IncidentSpan span = incident_span(1, 3, 5, 100);
+    EXPECT_EQ(span.first, 0u);
+    EXPECT_EQ(span.last, 3u);
+}
+
+TEST(IncidentSpanMath, ClampsAtStreamEnd) {
+    // Stream 20, DW 5 -> last window at 15; anomaly at 18..19.
+    const IncidentSpan span = incident_span(18, 2, 5, 20);
+    EXPECT_EQ(span.first, 14u);
+    EXPECT_EQ(span.last, 15u);
+}
+
+TEST(IncidentSpanMath, AnomalyOutsideStreamThrows) {
+    EXPECT_THROW((void)incident_span(95, 10, 5, 100), InvalidArgument);
+}
+
+TEST(IncidentSpanMath, Contains) {
+    const IncidentSpan span = incident_span(100, 8, 5, 1000);
+    EXPECT_FALSE(span.contains(95));
+    EXPECT_TRUE(span.contains(96));
+    EXPECT_TRUE(span.contains(107));
+    EXPECT_FALSE(span.contains(108));
+}
+
+TEST(WindowCoversAnomaly, ExactAndSuperset) {
+    EXPECT_TRUE(window_covers_anomaly(10, 4, 10, 4));
+    EXPECT_TRUE(window_covers_anomaly(9, 6, 10, 4));
+    EXPECT_FALSE(window_covers_anomaly(11, 4, 10, 4));
+    EXPECT_FALSE(window_covers_anomaly(10, 3, 10, 4));
+}
+
+class InjectorTest : public ::testing::Test {
+protected:
+    InjectorTest()
+        : oracle_(test::small_corpus().training()),
+          builder_(oracle_),
+          injector_(test::small_corpus(), oracle_) {}
+
+    SubsequenceOracle oracle_;
+    MfsBuilder builder_;
+    Injector injector_;
+};
+
+TEST_F(InjectorTest, InjectsPairAnomaly) {
+    const Sequence mfs = builder_.build(2);
+    const auto injected = injector_.try_inject(mfs, 6, 1024);
+    ASSERT_TRUE(injected.has_value());
+    EXPECT_EQ(injected->anomaly_size, 2u);
+    EXPECT_EQ(injected->window_length, 6u);
+    EXPECT_EQ(injected->stream.size(), 1024u);
+    // The anomaly really sits at anomaly_pos.
+    for (std::size_t i = 0; i < mfs.size(); ++i)
+        EXPECT_EQ(injected->stream[injected->anomaly_pos + i], mfs[i]);
+}
+
+TEST_F(InjectorTest, ValidatePassesOnInjectedStream) {
+    const Sequence mfs = builder_.build(5);
+    const auto injected = injector_.try_inject(mfs, 8, 1024);
+    ASSERT_TRUE(injected.has_value());
+    EXPECT_EQ(injector_.validate(injected->stream, injected->anomaly_pos,
+                                 injected->anomaly_size, 8),
+              "");
+}
+
+TEST_F(InjectorTest, ValidateRejectsRandomPlacement) {
+    // Splice the anomaly into the background at an arbitrary phase mismatch:
+    // background runs 0..7 cyclically and we cut it mid-cycle without
+    // rephasing, creating unintended foreign/rare boundary windows.
+    const Sequence mfs = builder_.build(5);
+    EventStream bg = test::small_corpus().background(512, 0);
+    Sequence events(bg.events());
+    // Overwrite 5 elements at position 200 (mid-phase) with the anomaly.
+    bool differs = false;
+    for (std::size_t i = 0; i < mfs.size(); ++i) {
+        if (events[200 + i] != mfs[i]) differs = true;
+        events[200 + i] = mfs[i];
+    }
+    ASSERT_TRUE(differs);
+    const EventStream stream(8, std::move(events));
+    EXPECT_NE(injector_.validate(stream, 200, mfs.size(), 6), "");
+}
+
+TEST_F(InjectorTest, SpanWindowsNotCoveringAnomalyArePresentInTraining) {
+    const Sequence mfs = builder_.build(6);
+    const std::size_t dw = 4;  // DW < AS: nothing may be foreign
+    const auto injected = injector_.try_inject(mfs, dw, 1024);
+    ASSERT_TRUE(injected.has_value());
+    for (std::size_t pos = injected->span.first; pos <= injected->span.last; ++pos) {
+        const SymbolView w = injected->stream.window(pos, dw);
+        if (!window_covers_anomaly(pos, dw, injected->anomaly_pos,
+                                   injected->anomaly_size))
+            EXPECT_TRUE(oracle_.present(w)) << "foreign boundary window at " << pos;
+    }
+}
+
+TEST_F(InjectorTest, WindowsCoveringAnomalyAreForeign) {
+    const Sequence mfs = builder_.build(4);
+    const std::size_t dw = 7;  // DW > AS
+    const auto injected = injector_.try_inject(mfs, dw, 1024);
+    ASSERT_TRUE(injected.has_value());
+    std::size_t covering = 0;
+    for (std::size_t pos = injected->span.first; pos <= injected->span.last; ++pos) {
+        if (window_covers_anomaly(pos, dw, injected->anomaly_pos,
+                                  injected->anomaly_size)) {
+            ++covering;
+            EXPECT_FALSE(
+                oracle_.present(injected->stream.window(pos, dw)));
+        }
+    }
+    EXPECT_EQ(covering, dw - mfs.size() + 1);
+}
+
+TEST_F(InjectorTest, OutsideSpanWindowsAreCommon) {
+    const Sequence mfs = builder_.build(3);
+    const std::size_t dw = 5;
+    const auto injected = injector_.try_inject(mfs, dw, 512);
+    ASSERT_TRUE(injected.has_value());
+    const double rare = test::small_corpus().spec().rare_threshold;
+    for (std::size_t pos = 0; pos < injected->stream.window_count(dw); ++pos) {
+        if (injected->span.contains(pos)) continue;
+        EXPECT_TRUE(oracle_.common(injected->stream.window(pos, dw), rare))
+            << "non-common background window at " << pos;
+    }
+}
+
+TEST_F(InjectorTest, BackgroundTooShortThrows) {
+    const Sequence mfs = builder_.build(3);
+    EXPECT_THROW((void)injector_.try_inject(mfs, 6, 16), InvalidArgument);
+}
+
+TEST_F(InjectorTest, EmptyAnomalyThrows) {
+    EXPECT_THROW((void)injector_.try_inject(Sequence{}, 6, 512), InvalidArgument);
+}
+
+TEST_F(InjectorTest, MismatchedOracleThrows) {
+    const EventStream other(8, {0, 1, 2, 3});
+    const SubsequenceOracle wrong(other);
+    EXPECT_THROW(Injector(test::small_corpus(), wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,120 @@
+#include "anomaly/mfs_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anomaly/foreign.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+class MfsBuilderTest : public ::testing::Test {
+protected:
+    MfsBuilderTest()
+        : oracle_(test::small_corpus().training()), builder_(oracle_) {}
+
+    SubsequenceOracle oracle_;
+    MfsBuilder builder_;
+};
+
+TEST_F(MfsBuilderTest, SizeOneIsRejected) {
+    EXPECT_THROW((void)builder_.build(1), InvalidArgument);
+    EXPECT_THROW((void)builder_.candidates(1, 5), InvalidArgument);
+}
+
+TEST_F(MfsBuilderTest, BuildsForeignPair) {
+    const Sequence mfs = builder_.build(2);
+    ASSERT_EQ(mfs.size(), 2u);
+    EXPECT_TRUE(is_minimal_foreign(oracle_, mfs));
+}
+
+TEST_F(MfsBuilderTest, CandidatesAreDistinct) {
+    const auto cands = builder_.candidates(4, 20);
+    std::set<Sequence> unique(cands.begin(), cands.end());
+    EXPECT_EQ(unique.size(), cands.size());
+}
+
+TEST_F(MfsBuilderTest, CandidatesRespectLimit) {
+    EXPECT_LE(builder_.candidates(3, 5).size(), 5u);
+    EXPECT_TRUE(builder_.candidates(3, 0).empty());
+}
+
+TEST_F(MfsBuilderTest, BuilderIsDeterministic) {
+    MfsBuilder other(oracle_);
+    for (std::size_t size = 2; size <= 6; ++size)
+        EXPECT_EQ(builder_.build(size), other.build(size));
+}
+
+TEST_F(MfsBuilderTest, RareCompositionHoldsForSizesAtLeastThree) {
+    const double threshold = builder_.config().rare_threshold;
+    for (std::size_t size = 3; size <= 9; ++size) {
+        const Sequence mfs = builder_.build(size);
+        const SymbolView prefix = SymbolView(mfs).subspan(0, size - 1);
+        const SymbolView suffix = SymbolView(mfs).subspan(1, size - 1);
+        EXPECT_TRUE(oracle_.rare(prefix, threshold))
+            << "prefix of size-" << size << " MFS is not rare";
+        EXPECT_TRUE(oracle_.rare(suffix, threshold))
+            << "suffix of size-" << size << " MFS is not rare";
+    }
+}
+
+// Property sweep: every constructible size yields a verified MFS.
+class MfsPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MfsPropertyTest, BuildYieldsVerifiedMinimalForeignSequence) {
+    const std::size_t size = GetParam();
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    const MfsBuilder builder(oracle);
+    const Sequence mfs = builder.build(size);
+    ASSERT_EQ(mfs.size(), size);
+    EXPECT_TRUE(is_foreign(oracle, mfs));
+    EXPECT_TRUE(is_minimal_foreign(oracle, mfs));
+    EXPECT_TRUE(all_proper_windows_present(oracle, mfs));
+}
+
+TEST_P(MfsPropertyTest, EveryCandidateIsMinimalForeign) {
+    const std::size_t size = GetParam();
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    const MfsBuilder builder(oracle);
+    for (const Sequence& cand : builder.candidates(size, 16)) {
+        EXPECT_TRUE(is_minimal_foreign(oracle, cand));
+        EXPECT_TRUE(all_proper_windows_present(oracle, cand));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes2To9, MfsPropertyTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u));
+
+TEST(MfsBuilderEdge, NoCandidatesWhenEverythingPresent) {
+    // Training that contains every pair over a 2-symbol alphabet: no foreign
+    // pair exists, and longer windows... every 2-window present, so size 2
+    // must fail.
+    const EventStream t(2, {0, 0, 1, 1, 0, 0, 1, 1, 0});
+    const SubsequenceOracle oracle(t);
+    const MfsBuilder builder(oracle);
+    EXPECT_TRUE(builder.candidates(2, 10).empty());
+    EXPECT_THROW((void)builder.build(2), SynthesisError);
+}
+
+TEST(MfsBuilderEdge, RelaxedCompositionFindsMoreCandidates) {
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    MfsConfig relaxed;
+    relaxed.require_rare_composition = false;
+    const MfsBuilder strict(oracle);
+    const MfsBuilder loose(oracle, relaxed);
+    // Relaxing the rare-composition constraint can only widen the pool.
+    EXPECT_GE(loose.candidates(5, 1000).size(), strict.candidates(5, 1000).size());
+}
+
+TEST(MfsBuilderEdge, InvalidThresholdThrows) {
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    MfsConfig bad;
+    bad.rare_threshold = 0.0;
+    EXPECT_THROW(MfsBuilder(oracle, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,68 @@
+#include "anomaly/subsequence_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+EventStream abcab() { return EventStream(3, {0, 1, 2, 0, 1}); }
+
+TEST(SubsequenceOracle, PresenceQueries) {
+    const EventStream s = abcab();
+    const SubsequenceOracle oracle(s);
+    EXPECT_TRUE(oracle.present(Sequence{0, 1}));
+    EXPECT_TRUE(oracle.present(Sequence{1, 2, 0}));
+    EXPECT_FALSE(oracle.present(Sequence{2, 1}));
+    EXPECT_TRUE(oracle.present(Sequence{2}));
+}
+
+TEST(SubsequenceOracle, CountQueries) {
+    const EventStream s = abcab();
+    const SubsequenceOracle oracle(s);
+    EXPECT_EQ(oracle.count(Sequence{0, 1}), 2u);
+    EXPECT_EQ(oracle.count(Sequence{1, 2}), 1u);
+    EXPECT_EQ(oracle.count(Sequence{2, 2}), 0u);
+}
+
+TEST(SubsequenceOracle, RelativeFrequency) {
+    const EventStream s = abcab();
+    const SubsequenceOracle oracle(s);
+    EXPECT_DOUBLE_EQ(oracle.relative_frequency(Sequence{0, 1}), 0.5);
+}
+
+TEST(SubsequenceOracle, RareAndCommonRespectThreshold) {
+    const EventStream s = abcab();
+    const SubsequenceOracle oracle(s);
+    // (1,2) has frequency 0.25.
+    EXPECT_TRUE(oracle.rare(Sequence{1, 2}, 0.3));
+    EXPECT_FALSE(oracle.rare(Sequence{1, 2}, 0.2));
+    EXPECT_TRUE(oracle.common(Sequence{1, 2}, 0.2));
+    // Absent grams are neither rare nor common.
+    EXPECT_FALSE(oracle.rare(Sequence{2, 1}, 0.5));
+    EXPECT_FALSE(oracle.common(Sequence{2, 1}, 0.5));
+}
+
+TEST(SubsequenceOracle, TableIsCachedPerLength) {
+    const EventStream s = abcab();
+    const SubsequenceOracle oracle(s);
+    const NgramTable& t1 = oracle.table(2);
+    const NgramTable& t2 = oracle.table(2);
+    EXPECT_EQ(&t1, &t2);
+    EXPECT_NE(&t1, &oracle.table(3));
+}
+
+TEST(SubsequenceOracle, EmptyStreamThrows) {
+    const EventStream empty(3);
+    EXPECT_THROW(SubsequenceOracle{empty}, DataError);
+}
+
+TEST(SubsequenceOracle, ZeroLengthQueryThrows) {
+    const EventStream s = abcab();
+    const SubsequenceOracle oracle(s);
+    EXPECT_THROW((void)oracle.table(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,119 @@
+#include "anomaly/rare_anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anomaly/foreign.hpp"
+#include "detect/markov.hpp"
+#include "detect/stide.hpp"
+#include "detect/tstide.hpp"
+#include "core/response.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+class RareAnomalyTest : public ::testing::Test {
+protected:
+    RareAnomalyTest()
+        : oracle_(test::small_corpus().training()),
+          builder_(oracle_),
+          injector_(test::small_corpus(), oracle_) {}
+
+    SubsequenceOracle oracle_;
+    RareAnomalyBuilder builder_;
+    RareInjector injector_;
+};
+
+TEST_F(RareAnomalyTest, BuildsPresentButRareSequence) {
+    for (std::size_t size : {2u, 4u, 6u, 8u}) {
+        const Sequence anomaly = builder_.build(size);
+        ASSERT_EQ(anomaly.size(), size);
+        EXPECT_TRUE(oracle_.present(anomaly));
+        EXPECT_TRUE(oracle_.rare(anomaly, builder_.rare_threshold()));
+        EXPECT_FALSE(is_foreign(oracle_, anomaly));
+    }
+}
+
+TEST_F(RareAnomalyTest, SizeOneIsRejected) {
+    EXPECT_THROW((void)builder_.build(1), InvalidArgument);
+}
+
+TEST_F(RareAnomalyTest, CandidatesAreRarestFirst) {
+    const auto cands = builder_.candidates(4, 10);
+    ASSERT_GE(cands.size(), 2u);
+    EXPECT_LE(oracle_.relative_frequency(cands[0]),
+              oracle_.relative_frequency(cands[1]));
+}
+
+TEST_F(RareAnomalyTest, InjectionProducesNoForeignWindows) {
+    const Sequence anomaly = builder_.build(5);
+    const auto injected = injector_.try_inject(anomaly, 4, 1024);
+    ASSERT_TRUE(injected.has_value());
+    for (std::size_t pos = 0; pos < injected->stream.window_count(4); ++pos)
+        EXPECT_TRUE(oracle_.present(injected->stream.window(pos, 4)))
+            << "foreign window at " << pos;
+}
+
+TEST_F(RareAnomalyTest, ValidateAcceptsInjectedStream) {
+    const Sequence anomaly = builder_.build(6);
+    const auto injected = injector_.try_inject(anomaly, 6, 1024);
+    ASSERT_TRUE(injected.has_value());
+    EXPECT_EQ(injector_.validate(injected->stream, injected->anomaly_pos,
+                                 injected->anomaly_size, 6),
+              "");
+}
+
+TEST_F(RareAnomalyTest, ValidateRejectsPureBackground) {
+    // A clean background with no rare window in the "span" must fail the
+    // any-rare requirement.
+    const EventStream bg = test::small_corpus().background(512, 0);
+    EXPECT_NE(injector_.validate(bg, 200, 4, 4), "");
+}
+
+// The paper's Section 5.1 claim, end to end: Stide cannot respond to a rare
+// sequence at any window length, while the Markov detector and t-Stide can.
+TEST_F(RareAnomalyTest, StideBlindMarkovCapable) {
+    const Sequence anomaly = builder_.build(4);
+    for (std::size_t dw : {2u, 4u, 6u}) {
+        const auto injected = injector_.try_inject(anomaly, dw, 1024);
+        ASSERT_TRUE(injected.has_value()) << "DW=" << dw;
+
+        StideDetector stide(dw);
+        stide.train(test::small_corpus().training());
+        const SpanScore s =
+            classify_span(stide.score(injected->stream), injected->span);
+        EXPECT_EQ(s.outcome, DetectionOutcome::Blind) << "stide DW=" << dw;
+
+        MarkovDetector markov(dw);
+        markov.train(test::small_corpus().training());
+        const SpanScore m =
+            classify_span(markov.score(injected->stream), injected->span);
+        EXPECT_EQ(m.outcome, DetectionOutcome::Capable) << "markov DW=" << dw;
+    }
+}
+
+TEST_F(RareAnomalyTest, TstideSeesRareWindows) {
+    const std::size_t dw = 4;
+    const Sequence anomaly = builder_.build(4);
+    const auto injected = injector_.try_inject(anomaly, dw, 1024);
+    ASSERT_TRUE(injected.has_value());
+    TstideDetector tstide(dw);
+    tstide.train(test::small_corpus().training());
+    const SpanScore t =
+        classify_span(tstide.score(injected->stream), injected->span);
+    EXPECT_EQ(t.outcome, DetectionOutcome::Capable);
+}
+
+TEST_F(RareAnomalyTest, NoRareSequencesMeansSynthesisError) {
+    CorpusSpec spec;
+    spec.training_length = 20'000;
+    spec.deviation_rate = 0.0;  // pure cycle: nothing rare exists
+    const TrainingCorpus clean = TrainingCorpus::generate(spec);
+    const SubsequenceOracle oracle(clean.training());
+    const RareAnomalyBuilder builder(oracle);
+    EXPECT_THROW((void)builder.build(4), SynthesisError);
+}
+
+}  // namespace
+}  // namespace adiv

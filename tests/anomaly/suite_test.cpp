@@ -1,0 +1,121 @@
+#include "anomaly/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anomaly/foreign.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(EvaluationSuite, BuildsFullGrid) {
+    const EvaluationSuite& suite = test::small_suite();
+    // AS 2..9 x DW 2..10 = 8 * 9 = 72 streams.
+    EXPECT_EQ(suite.entry_count(), 72u);
+    EXPECT_EQ(suite.anomaly_sizes().size(), 8u);
+    EXPECT_EQ(suite.window_lengths().size(), 9u);
+}
+
+TEST(EvaluationSuite, PaperGridWouldBe112Streams) {
+    // The default configuration is the paper's full grid: 8 anomaly sizes
+    // replicated across 14 detector windows.
+    const SuiteConfig cfg;
+    const std::size_t streams =
+        (cfg.max_anomaly_size - cfg.min_anomaly_size + 1) *
+        (cfg.max_window - cfg.min_window + 1);
+    EXPECT_EQ(streams, 112u);
+}
+
+TEST(EvaluationSuite, EntriesMatchTheirIndices) {
+    const EvaluationSuite& suite = test::small_suite();
+    for (std::size_t as : suite.anomaly_sizes()) {
+        for (std::size_t dw : suite.window_lengths()) {
+            const auto& e = suite.entry(as, dw);
+            EXPECT_EQ(e.anomaly_size, as);
+            EXPECT_EQ(e.window_length, dw);
+            EXPECT_EQ(e.stream.window_length, dw);
+            EXPECT_EQ(e.stream.anomaly_size, as);
+        }
+    }
+}
+
+TEST(EvaluationSuite, SameAnomalyAcrossWindows) {
+    const EvaluationSuite& suite = test::small_suite();
+    for (std::size_t as : suite.anomaly_sizes()) {
+        const Sequence& anomaly = suite.anomaly(as);
+        ASSERT_EQ(anomaly.size(), as);
+        for (std::size_t dw : suite.window_lengths()) {
+            const auto& e = suite.entry(as, dw);
+            const SymbolView embedded =
+                e.stream.stream.window(e.stream.anomaly_pos, as);
+            EXPECT_TRUE(same_sequence(embedded, anomaly));
+        }
+    }
+}
+
+TEST(EvaluationSuite, AnomaliesAreMinimalForeign) {
+    const EvaluationSuite& suite = test::small_suite();
+    const SubsequenceOracle oracle(suite.corpus().training());
+    for (std::size_t as : suite.anomaly_sizes()) {
+        EXPECT_TRUE(is_minimal_foreign(oracle, suite.anomaly(as)));
+        EXPECT_TRUE(all_proper_windows_present(oracle, suite.anomaly(as)));
+    }
+}
+
+TEST(EvaluationSuite, EveryEntryValidates) {
+    const EvaluationSuite& suite = test::small_suite();
+    const SubsequenceOracle oracle(suite.corpus().training());
+    const Injector injector(suite.corpus(), oracle);
+    for (const auto& e : suite.entries()) {
+        EXPECT_EQ(injector.validate(e.stream.stream, e.stream.anomaly_pos,
+                                    e.stream.anomaly_size, e.window_length),
+                  "")
+            << "entry AS=" << e.anomaly_size << " DW=" << e.window_length;
+    }
+}
+
+TEST(EvaluationSuite, SpansMatchEntries) {
+    const EvaluationSuite& suite = test::small_suite();
+    for (const auto& e : suite.entries()) {
+        const IncidentSpan expected =
+            incident_span(e.stream.anomaly_pos, e.anomaly_size, e.window_length,
+                          e.stream.stream.size());
+        EXPECT_EQ(e.stream.span.first, expected.first);
+        EXPECT_EQ(e.stream.span.last, expected.last);
+    }
+}
+
+TEST(EvaluationSuite, UnknownCellThrows) {
+    const EvaluationSuite& suite = test::small_suite();
+    EXPECT_THROW((void)suite.entry(2, 99), InvalidArgument);
+    EXPECT_THROW((void)suite.anomaly(1), InvalidArgument);
+}
+
+TEST(EvaluationSuite, InvalidConfigThrows) {
+    SuiteConfig cfg;
+    cfg.min_anomaly_size = 1;
+    EXPECT_THROW((void)EvaluationSuite::build(test::small_corpus(), cfg),
+                 InvalidArgument);
+    cfg = SuiteConfig{};
+    cfg.min_window = 5;
+    cfg.max_window = 4;
+    EXPECT_THROW((void)EvaluationSuite::build(test::small_corpus(), cfg),
+                 InvalidArgument);
+}
+
+TEST(EvaluationSuite, BuildIsDeterministic) {
+    SuiteConfig cfg;
+    cfg.max_anomaly_size = 3;
+    cfg.max_window = 4;
+    cfg.background_length = 512;
+    const EvaluationSuite a = EvaluationSuite::build(test::small_corpus(), cfg);
+    const EvaluationSuite b = EvaluationSuite::build(test::small_corpus(), cfg);
+    EXPECT_EQ(a.anomaly(2), b.anomaly(2));
+    EXPECT_EQ(a.anomaly(3), b.anomaly(3));
+    EXPECT_EQ(a.entry(3, 4).stream.stream.events(),
+              b.entry(3, 4).stream.stream.events());
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,79 @@
+#include "core/alarms.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adiv {
+namespace {
+
+TEST(AlarmEvents, EmptyResponsesNoEvents) {
+    EXPECT_TRUE(extract_alarm_events({}).empty());
+    const std::vector<double> quiet(10, 0.0);
+    EXPECT_TRUE(extract_alarm_events(quiet).empty());
+}
+
+TEST(AlarmEvents, GroupsConsecutiveAlarms) {
+    const std::vector<double> r{0, 1, 1, 1, 0, 0, 1, 0};
+    const auto events = extract_alarm_events(r, 1.0);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].first_window, 1u);
+    EXPECT_EQ(events[0].last_window, 3u);
+    EXPECT_EQ(events[0].window_count(), 3u);
+    EXPECT_EQ(events[1].first_window, 6u);
+    EXPECT_EQ(events[1].last_window, 6u);
+}
+
+TEST(AlarmEvents, TracksPeak) {
+    const std::vector<double> r{0.0, 0.8, 0.95, 0.85, 0.0};
+    const auto events = extract_alarm_events(r, 0.5);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_DOUBLE_EQ(events[0].peak_response, 0.95);
+    EXPECT_EQ(events[0].peak_window, 2u);
+}
+
+TEST(AlarmEvents, AlarmAtBoundaries) {
+    const std::vector<double> r{1.0, 0.0, 1.0};
+    const auto events = extract_alarm_events(r, 1.0);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].first_window, 0u);
+    EXPECT_EQ(events[1].last_window, 2u);
+}
+
+TEST(AlarmEvents, ThresholdSelectsEvents) {
+    const std::vector<double> r{0.3, 0.6, 0.9};
+    EXPECT_EQ(extract_alarm_events(r, 0.5).size(), 1u);  // one run 0.6,0.9
+    EXPECT_EQ(extract_alarm_events(r, 0.2).size(), 1u);  // one run of all
+    EXPECT_EQ(extract_alarm_events(r, 0.95).size(), 0u);
+}
+
+TEST(AlarmReport, EmptyEventsSayNoAlarms) {
+    EXPECT_EQ(render_alarm_report({}), "no alarms\n");
+}
+
+TEST(AlarmReport, RendersBasicTable) {
+    const std::vector<double> r{0, 1, 1, 0};
+    const auto events = extract_alarm_events(r, 1.0);
+    const std::string report = render_alarm_report(events);
+    EXPECT_NE(report.find("event"), std::string::npos);
+    EXPECT_NE(report.find("1..2"), std::string::npos);
+    EXPECT_NE(report.find("1.000"), std::string::npos);
+}
+
+TEST(AlarmReport, IncludesWindowContentsWithStream) {
+    const EventStream stream(4, {0, 1, 2, 3, 0, 1});
+    const std::vector<double> r{0, 1, 0, 0};  // window 1 = (1,2,3)
+    const auto events = extract_alarm_events(r, 1.0);
+    const std::string report = render_alarm_report(events, &stream, 3);
+    EXPECT_NE(report.find("1 2 3"), std::string::npos);
+}
+
+TEST(AlarmReport, FormatsThroughAlphabet) {
+    const Alphabet alphabet({"open", "read", "write", "close"});
+    const EventStream stream(4, {0, 1, 2, 3});
+    const std::vector<double> r{1, 0};
+    const auto events = extract_alarm_events(r, 1.0);
+    const std::string report = render_alarm_report(events, &stream, 3, &alphabet);
+    EXPECT_NE(report.find("open read write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adiv

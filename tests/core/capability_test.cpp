@@ -1,0 +1,117 @@
+#include "core/capability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "anomaly/mfs_builder.hpp"
+#include "anomaly/rare_anomaly.hpp"
+#include "detect/registry.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+CapabilityQuery query_with_deployed(std::size_t dw) {
+    CapabilityQuery q;
+    q.deployed_window = dw;
+    q.min_window = 2;
+    q.max_window = 8;
+    q.background_length = 1024;
+    return q;
+}
+
+TEST(Capability, CommonManifestationIsNotAnomalous) {
+    // A run of the base cycle is common: question C answers "no".
+    const Sequence common{0, 1, 2, 3};
+    const CapabilityDiagnosis d = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::Stide), common,
+        query_with_deployed(4));
+    EXPECT_EQ(d.manifestation, ManifestationClass::Common);
+    EXPECT_EQ(d.verdict, CapabilityVerdict::NotAnomalous);
+    EXPECT_NE(d.explanation.find("not "), std::string::npos);
+}
+
+TEST(Capability, StideDetectsMfsOnlyAtWideEnoughWindows) {
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    const Sequence mfs = MfsBuilder(oracle).build(5);
+
+    // Deployed window too small: detectable but mistuned (Figure 1, E = no).
+    const CapabilityDiagnosis narrow = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::Stide), mfs,
+        query_with_deployed(3));
+    EXPECT_EQ(narrow.manifestation, ManifestationClass::Foreign);
+    EXPECT_EQ(narrow.verdict, CapabilityVerdict::DetectableMistuned);
+    for (std::size_t dw : narrow.detecting_windows) EXPECT_GE(dw, mfs.size());
+
+    // Deployed window wide enough: detected.
+    const CapabilityDiagnosis wide = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::Stide), mfs,
+        query_with_deployed(6));
+    EXPECT_EQ(wide.verdict, CapabilityVerdict::Detected);
+}
+
+TEST(Capability, MarkovDetectsMfsAtEveryWindow) {
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    const Sequence mfs = MfsBuilder(oracle).build(5);
+    const CapabilityDiagnosis d = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::Markov), mfs,
+        query_with_deployed(3));
+    EXPECT_EQ(d.verdict, CapabilityVerdict::Detected);
+    EXPECT_EQ(d.detecting_windows.size(),
+              7u - d.unplaceable_windows.size());  // all placeable windows
+}
+
+TEST(Capability, RareManifestationBeyondStide) {
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    const Sequence rare = RareAnomalyBuilder(oracle).build(4);
+
+    const CapabilityDiagnosis stide = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::Stide), rare,
+        query_with_deployed(4));
+    EXPECT_EQ(stide.manifestation, ManifestationClass::Rare);
+    EXPECT_EQ(stide.verdict, CapabilityVerdict::NotDetectable);
+    EXPECT_TRUE(stide.detecting_windows.empty());
+
+    const CapabilityDiagnosis markov = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::Markov), rare,
+        query_with_deployed(4));
+    EXPECT_EQ(markov.verdict, CapabilityVerdict::Detected);
+}
+
+TEST(Capability, LaneBrodleyNeverDetectsTheMfs) {
+    const SubsequenceOracle oracle(test::small_corpus().training());
+    const Sequence mfs = MfsBuilder(oracle).build(4);
+    const CapabilityDiagnosis d = diagnose_capability(
+        test::small_corpus(), factory_for(DetectorKind::LaneBrodley), mfs,
+        query_with_deployed(4));
+    EXPECT_EQ(d.verdict, CapabilityVerdict::NotDetectable);
+}
+
+TEST(Capability, InvalidQueriesThrow) {
+    const Sequence mfs{0, 0};
+    CapabilityQuery q = query_with_deployed(4);
+    q.deployed_window = 99;
+    EXPECT_THROW((void)diagnose_capability(test::small_corpus(),
+                                           factory_for(DetectorKind::Stide),
+                                           mfs, q),
+                 InvalidArgument);
+    EXPECT_THROW((void)diagnose_capability(test::small_corpus(),
+                                           factory_for(DetectorKind::Stide),
+                                           Sequence{0}, query_with_deployed(4)),
+                 InvalidArgument);
+}
+
+TEST(Capability, VerdictAndClassToString) {
+    EXPECT_EQ(to_string(ManifestationClass::Foreign), "foreign");
+    EXPECT_EQ(to_string(ManifestationClass::Rare), "rare");
+    EXPECT_EQ(to_string(ManifestationClass::Common), "common");
+    EXPECT_EQ(to_string(CapabilityVerdict::Detected), "detected");
+    EXPECT_EQ(to_string(CapabilityVerdict::NotDetectable), "not-detectable");
+    EXPECT_EQ(to_string(CapabilityVerdict::DetectableMistuned),
+              "detectable-mistuned");
+    EXPECT_EQ(to_string(CapabilityVerdict::NotAnomalous), "not-anomalous");
+    EXPECT_EQ(to_string(CapabilityVerdict::Inconclusive), "inconclusive");
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,95 @@
+#include "core/diversity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+PerformanceMap map_with(const std::string& name,
+                        std::initializer_list<std::pair<std::size_t, std::size_t>>
+                            capable_cells) {
+    PerformanceMap map(name, {2, 3, 4}, {2, 3, 4});
+    SpanScore blind;
+    for (std::size_t as : {2, 3, 4})
+        for (std::size_t dw : {2, 3, 4}) map.set(as, dw, blind);
+    SpanScore cap;
+    cap.outcome = DetectionOutcome::Capable;
+    cap.max_response = 1.0;
+    for (auto [as, dw] : capable_cells) map.set(as, dw, cap);
+    return map;
+}
+
+TEST(Diversity, ComputesCoverageCounts) {
+    const PerformanceMap a = map_with("a", {{2, 2}, {2, 3}});
+    const PerformanceMap b = map_with("b", {{2, 3}, {3, 3}, {4, 4}});
+    const PairwiseDiversity d = analyze_pair(a, b);
+    EXPECT_EQ(d.coverage_a, 2u);
+    EXPECT_EQ(d.coverage_b, 3u);
+    EXPECT_EQ(d.overlap, 1u);
+    EXPECT_EQ(d.union_size, 4u);
+    EXPECT_EQ(d.gain_b_adds_to_a, 2u);
+    EXPECT_EQ(d.gain_a_adds_to_b, 1u);
+    EXPECT_FALSE(d.a_subset_of_b);
+    EXPECT_FALSE(d.b_subset_of_a);
+    EXPECT_NEAR(d.jaccard, 0.25, 1e-12);
+}
+
+TEST(Diversity, DetectsSubsetStructure) {
+    const PerformanceMap small = map_with("small", {{2, 2}});
+    const PerformanceMap big = map_with("big", {{2, 2}, {3, 3}});
+    const PairwiseDiversity d = analyze_pair(small, big);
+    EXPECT_TRUE(d.a_subset_of_b);
+    EXPECT_FALSE(d.b_subset_of_a);
+}
+
+TEST(Diversity, MismatchedGridsThrow) {
+    const PerformanceMap a = map_with("a", {});
+    PerformanceMap b("b", {2, 3}, {2, 3, 4});
+    EXPECT_THROW((void)analyze_pair(a, b), InvalidArgument);
+}
+
+TEST(Diversity, AllPairsCountIsChooseTwo) {
+    const PerformanceMap a = map_with("a", {});
+    const PerformanceMap b = map_with("b", {});
+    const PerformanceMap c = map_with("c", {});
+    const auto pairs = analyze_all_pairs({&a, &b, &c});
+    EXPECT_EQ(pairs.size(), 3u);
+    EXPECT_EQ(pairs[0].detector_a, "a");
+    EXPECT_EQ(pairs[0].detector_b, "b");
+    EXPECT_EQ(pairs[2].detector_a, "b");
+    EXPECT_EQ(pairs[2].detector_b, "c");
+}
+
+TEST(Diversity, DescribeSubsetPair) {
+    const PerformanceMap small = map_with("stide", {{2, 2}});
+    const PerformanceMap big = map_with("markov", {{2, 2}, {3, 3}});
+    const std::string text = describe_pair(analyze_pair(small, big));
+    EXPECT_NE(text.find("stide"), std::string::npos);
+    EXPECT_NE(text.find("subset"), std::string::npos);
+}
+
+TEST(Diversity, DescribeEmptyPair) {
+    const PerformanceMap a = map_with("a", {});
+    const PerformanceMap b = map_with("b", {});
+    const std::string text = describe_pair(analyze_pair(a, b));
+    EXPECT_NE(text.find("neither detects"), std::string::npos);
+}
+
+TEST(Diversity, DescribeIdenticalPair) {
+    const PerformanceMap a = map_with("a", {{2, 2}});
+    const PerformanceMap b = map_with("b", {{2, 2}});
+    const std::string text = describe_pair(analyze_pair(a, b));
+    EXPECT_NE(text.find("identical coverage"), std::string::npos);
+}
+
+TEST(Diversity, DescribePartialOverlapReportsGain) {
+    const PerformanceMap a = map_with("a", {{2, 2}, {2, 3}});
+    const PerformanceMap b = map_with("b", {{2, 3}, {3, 3}});
+    const std::string text = describe_pair(analyze_pair(a, b));
+    EXPECT_NE(text.find("union gains"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adiv

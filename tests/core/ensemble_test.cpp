@@ -1,0 +1,122 @@
+#include "core/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+CoverageSet set_of(std::initializer_list<std::pair<std::size_t, std::size_t>> cells) {
+    CoverageSet s;
+    for (auto [as, dw] : cells) s.insert(as, dw);
+    return s;
+}
+
+TEST(CoverageSet, InsertAndContains) {
+    CoverageSet s;
+    EXPECT_TRUE(s.empty());
+    s.insert(2, 5);
+    EXPECT_TRUE(s.contains(2, 5));
+    EXPECT_FALSE(s.contains(5, 2));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CoverageSet, InsertIsIdempotent) {
+    CoverageSet s;
+    s.insert(2, 5);
+    s.insert(2, 5);
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CoverageSet, UniteAndIntersect) {
+    const CoverageSet a = set_of({{2, 2}, {2, 3}});
+    const CoverageSet b = set_of({{2, 3}, {3, 3}});
+    EXPECT_EQ(a.unite(b).size(), 3u);
+    const CoverageSet inter = a.intersect(b);
+    EXPECT_EQ(inter.size(), 1u);
+    EXPECT_TRUE(inter.contains(2, 3));
+}
+
+TEST(CoverageSet, Subtract) {
+    const CoverageSet a = set_of({{2, 2}, {2, 3}});
+    const CoverageSet b = set_of({{2, 3}});
+    const CoverageSet diff = a.subtract(b);
+    EXPECT_EQ(diff.size(), 1u);
+    EXPECT_TRUE(diff.contains(2, 2));
+}
+
+TEST(CoverageSet, SubsetRelations) {
+    const CoverageSet a = set_of({{2, 2}});
+    const CoverageSet b = set_of({{2, 2}, {3, 3}});
+    EXPECT_TRUE(a.subset_of(b));
+    EXPECT_FALSE(b.subset_of(a));
+    EXPECT_TRUE(a.subset_of(a));
+    EXPECT_TRUE(CoverageSet{}.subset_of(a));
+}
+
+TEST(CoverageSet, Jaccard) {
+    const CoverageSet a = set_of({{2, 2}, {2, 3}});
+    const CoverageSet b = set_of({{2, 3}, {3, 3}});
+    EXPECT_NEAR(a.jaccard(b), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(CoverageSet{}.jaccard(CoverageSet{}), 1.0);
+    EXPECT_DOUBLE_EQ(a.jaccard(a), 1.0);
+}
+
+TEST(CoverageSet, CellsAreSorted) {
+    const CoverageSet s = set_of({{3, 2}, {2, 5}, {2, 3}});
+    const auto cells = s.cells();
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0], (std::pair<std::size_t, std::size_t>{2, 3}));
+    EXPECT_EQ(cells[1], (std::pair<std::size_t, std::size_t>{2, 5}));
+    EXPECT_EQ(cells[2], (std::pair<std::size_t, std::size_t>{3, 2}));
+}
+
+TEST(CoverageSet, CapableCellsFromMap) {
+    PerformanceMap map("demo", {2, 3}, {2});
+    SpanScore cap;
+    cap.outcome = DetectionOutcome::Capable;
+    SpanScore weak;
+    weak.outcome = DetectionOutcome::Weak;
+    map.set(2, 2, cap);
+    map.set(3, 2, weak);
+    const CoverageSet s = CoverageSet::capable_cells(map);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.contains(2, 2));
+}
+
+TEST(RenderCoverage, ShowsStarsOnGrid) {
+    const CoverageSet s = set_of({{2, 3}});
+    const std::string out = render_coverage(s, "combined", {2, 3}, {2, 3});
+    EXPECT_NE(out.find("combined"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(CombineAlarms, OrWidensAndAndNarrows) {
+    const std::vector<double> a{1.0, 0.0, 1.0, 0.0};
+    const std::vector<double> b{1.0, 1.0, 0.0, 0.0};
+    EXPECT_EQ(combine_alarms(a, b, CombineMode::Or, 1.0),
+              (std::vector<double>{1, 1, 1, 0}));
+    EXPECT_EQ(combine_alarms(a, b, CombineMode::And, 1.0),
+              (std::vector<double>{1, 0, 0, 0}));
+}
+
+TEST(CombineAlarms, ThresholdBinarizes) {
+    const std::vector<double> a{0.6};
+    const std::vector<double> b{0.7};
+    EXPECT_EQ(combine_alarms(a, b, CombineMode::And, 0.5),
+              (std::vector<double>{1}));
+    EXPECT_EQ(combine_alarms(a, b, CombineMode::And, kMaximalResponse),
+              (std::vector<double>{0}));
+}
+
+TEST(CombineAlarms, LengthMismatchThrows) {
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{1.0, 0.0};
+    EXPECT_THROW((void)combine_alarms(a, b, CombineMode::Or, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,99 @@
+#include "core/false_alarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/markov.hpp"
+#include "detect/stide.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(AlarmsFromResponses, Binarizes) {
+    const std::vector<double> r{0.0, 0.5, 1.0};
+    const auto alarms = alarms_from_responses(r, kMaximalResponse);
+    EXPECT_EQ(alarms, (std::vector<bool>{false, false, true}));
+    const auto lower = alarms_from_responses(r, 0.5);
+    EXPECT_EQ(lower, (std::vector<bool>{false, true, true}));
+}
+
+TEST(FalseAlarms, StideIsQuietOnHeldoutNormalData) {
+    // Held-out data from the same model contains rare sequences. At small
+    // windows every short pattern was seen in 200k training elements, so
+    // Stide alarms rarely or never.
+    StideDetector d(2);
+    d.train(test::small_corpus().training());
+    const EventStream heldout = test::small_corpus().generate_heldout(20'000, 404);
+    const FalseAlarmResult r = measure_false_alarms(d, heldout);
+    EXPECT_EQ(r.detector, "stide");
+    EXPECT_EQ(r.windows, heldout.window_count(2));
+    EXPECT_LT(r.rate(), 0.001);
+}
+
+TEST(FalseAlarms, MarkovAlarmsMoreThanStide) {
+    // Section 7: the Markov detector "can only be expected to produce greater
+    // numbers of false alarms than Stide" — it fires on rare-but-normal
+    // events that Stide has in its database.
+    const std::size_t dw = 4;
+    StideDetector stide(dw);
+    MarkovDetector markov(dw);
+    stide.train(test::small_corpus().training());
+    markov.train(test::small_corpus().training());
+    const EventStream heldout = test::small_corpus().generate_heldout(30'000, 808);
+    const FalseAlarmResult fs = measure_false_alarms(stide, heldout);
+    const FalseAlarmResult fm = measure_false_alarms(markov, heldout);
+    EXPECT_GT(fm.alarms, fs.alarms);
+    EXPECT_GT(fm.rate(), 0.0);  // deviations occur in held-out data
+}
+
+TEST(FalseAlarms, AndCombinationSuppresses) {
+    const std::size_t dw = 4;
+    StideDetector stide(dw);
+    MarkovDetector markov(dw);
+    stide.train(test::small_corpus().training());
+    markov.train(test::small_corpus().training());
+    const EventStream heldout = test::small_corpus().generate_heldout(30'000, 808);
+    const CombinedAlarmResult c = measure_combined_alarms(markov, stide, heldout);
+    EXPECT_LE(c.alarms_and, c.alarms_a);
+    EXPECT_LE(c.alarms_and, c.alarms_b);
+    EXPECT_GE(c.alarms_or, c.alarms_a);
+    EXPECT_GE(c.alarms_or, c.alarms_b);
+    // The suppressed set is dramatically smaller than Markov alone.
+    EXPECT_LT(c.alarms_and, c.alarms_a / 2 + 1);
+}
+
+TEST(FalseAlarms, CombinedRequiresEqualWindows) {
+    StideDetector a(3), b(4);
+    a.train(test::small_corpus().training());
+    b.train(test::small_corpus().training());
+    const EventStream heldout = test::small_corpus().generate_heldout(1'000, 1);
+    EXPECT_THROW((void)measure_combined_alarms(a, b, heldout), InvalidArgument);
+}
+
+TEST(FalseAlarms, HitsAnomalyMatchesStideLaw) {
+    const EvaluationSuite& suite = test::small_suite();
+    // DW >= AS: Stide hits; DW < AS: it cannot.
+    StideDetector wide(8);
+    wide.train(suite.corpus().training());
+    EXPECT_TRUE(hits_anomaly(wide, suite.entry(4, 8).stream));
+
+    StideDetector narrow(3);
+    narrow.train(suite.corpus().training());
+    EXPECT_FALSE(hits_anomaly(narrow, suite.entry(6, 3).stream));
+}
+
+TEST(FalseAlarms, HitsAnomalyWindowMismatchThrows) {
+    const EvaluationSuite& suite = test::small_suite();
+    StideDetector d(5);
+    d.train(suite.corpus().training());
+    EXPECT_THROW((void)hits_anomaly(d, suite.entry(4, 8).stream), InvalidArgument);
+}
+
+TEST(FalseAlarms, RateIsZeroOnEmptyWindows) {
+    FalseAlarmResult r;
+    EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace adiv

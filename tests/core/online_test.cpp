@@ -1,0 +1,108 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/registry.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(OnlineScorer, WarmupReturnsNothing) {
+    auto d = make_detector(DetectorKind::Stide, 4);
+    d->train(test::small_corpus().training());
+    OnlineScorer scorer(*d);
+    EXPECT_FALSE(scorer.push(0).has_value());
+    EXPECT_FALSE(scorer.push(1).has_value());
+    EXPECT_FALSE(scorer.push(2).has_value());
+    EXPECT_TRUE(scorer.push(3).has_value());
+    EXPECT_EQ(scorer.events_consumed(), 4u);
+}
+
+// For window-local detectors the online responses equal the batch responses.
+class OnlineEquivalence : public ::testing::TestWithParam<DetectorKind> {};
+
+TEST_P(OnlineEquivalence, MatchesBatchScoring) {
+    const DetectorKind kind = GetParam();
+    DetectorSettings settings;
+    settings.nn.epochs = 150;
+    const std::size_t dw = 4;
+    auto d = make_detector(kind, dw, settings);
+    d->train(test::small_corpus().training());
+
+    EventStream test = test::small_corpus().background(64, 0);
+    test.push_back(1);  // deviation at the end
+    const auto batch = d->score(test);
+
+    OnlineScorer scorer(*d);
+    std::vector<double> online;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        if (const auto r = scorer.push(test[i])) online.push_back(*r);
+    }
+    ASSERT_EQ(online.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_DOUBLE_EQ(online[i], batch[i]) << "window " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowLocalKinds, OnlineEquivalence,
+    ::testing::Values(DetectorKind::Stide, DetectorKind::TStide,
+                      DetectorKind::Markov, DetectorKind::LaneBrodley,
+                      DetectorKind::NeuralNet, DetectorKind::Rule),
+    [](const auto& info) {
+        std::string name = to_string(info.param);
+        for (char& c : name)
+            if (c == '-') c = '_';
+        return name;
+    });
+
+TEST(OnlineScorer, HmmMatchesBatchWhenBufferCoversStream) {
+    DetectorSettings settings;
+    settings.hmm.iterations = 8;
+    auto d = make_detector(DetectorKind::Hmm, 3, settings);
+    d->train(test::small_corpus().training());
+    EventStream test = test::small_corpus().background(40, 0);
+    const auto batch = d->score(test);
+
+    OnlineScorer scorer(*d, /*buffer_capacity=*/test.size());
+    std::vector<double> online;
+    for (std::size_t i = 0; i < test.size(); ++i)
+        if (const auto r = scorer.push(test[i])) online.push_back(*r);
+    ASSERT_EQ(online.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_NEAR(online[i], batch[i], 1e-12);
+}
+
+TEST(OnlineScorer, ResetForgetsHistory) {
+    auto d = make_detector(DetectorKind::Stide, 3);
+    d->train(test::small_corpus().training());
+    OnlineScorer scorer(*d);
+    scorer.push(0);
+    scorer.push(1);
+    scorer.reset();
+    EXPECT_EQ(scorer.events_consumed(), 0u);
+    EXPECT_FALSE(scorer.push(2).has_value());  // warmup restarts
+}
+
+TEST(OnlineScorer, RejectsOutOfAlphabetEvents) {
+    auto d = make_detector(DetectorKind::Stide, 3);
+    d->train(test::small_corpus().training());
+    OnlineScorer scorer(*d);
+    EXPECT_THROW((void)scorer.push(99), DataError);
+}
+
+TEST(OnlineScorer, UntrainedDetectorThrowsAtConstruction) {
+    const auto d = make_detector(DetectorKind::Stide, 3);
+    EXPECT_THROW(OnlineScorer{*d}, InvalidArgument);
+}
+
+TEST(OnlineScorer, DetectorAccessor) {
+    auto d = make_detector(DetectorKind::Markov, 3);
+    d->train(test::small_corpus().training());
+    const OnlineScorer scorer(*d);
+    EXPECT_EQ(&scorer.detector(), d.get());
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,74 @@
+#include "core/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/detector.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+IncidentSpan span(std::size_t first, std::size_t last) {
+    IncidentSpan s;
+    s.first = first;
+    s.last = last;
+    return s;
+}
+
+TEST(ClassifySpan, AllZeroIsBlind) {
+    const std::vector<double> r{0, 0, 0, 0};
+    const SpanScore s = classify_span(r, span(0, 3));
+    EXPECT_EQ(s.outcome, DetectionOutcome::Blind);
+    EXPECT_DOUBLE_EQ(s.max_response, 0.0);
+}
+
+TEST(ClassifySpan, PartialResponseIsWeak) {
+    const std::vector<double> r{0, 0.4, 0.2, 0};
+    const SpanScore s = classify_span(r, span(0, 3));
+    EXPECT_EQ(s.outcome, DetectionOutcome::Weak);
+    EXPECT_DOUBLE_EQ(s.max_response, 0.4);
+    EXPECT_EQ(s.argmax_window, 1u);
+}
+
+TEST(ClassifySpan, MaximalResponseIsCapable) {
+    const std::vector<double> r{0, 0.4, 1.0, 0};
+    const SpanScore s = classify_span(r, span(0, 3));
+    EXPECT_EQ(s.outcome, DetectionOutcome::Capable);
+    EXPECT_EQ(s.argmax_window, 2u);
+}
+
+TEST(ClassifySpan, OnlyLooksInsideSpan) {
+    // The maximal response at index 0 lies outside the span [1,2].
+    const std::vector<double> r{1.0, 0.0, 0.3};
+    const SpanScore s = classify_span(r, span(1, 2));
+    EXPECT_EQ(s.outcome, DetectionOutcome::Weak);
+    EXPECT_DOUBLE_EQ(s.max_response, 0.3);
+}
+
+TEST(ClassifySpan, NearMaximalCountsAsCapable) {
+    // Floating-point slack: responses within kMaximalResponse of 1 count.
+    const std::vector<double> r{1.0 - 1e-12};
+    EXPECT_EQ(classify_span(r, span(0, 0)).outcome, DetectionOutcome::Capable);
+}
+
+TEST(ClassifySpan, TinyNoiseStillBlind) {
+    const std::vector<double> r{1e-15};
+    EXPECT_EQ(classify_span(r, span(0, 0)).outcome, DetectionOutcome::Blind);
+}
+
+TEST(ClassifySpan, SpanBeyondResponsesThrows) {
+    const std::vector<double> r{0, 0};
+    EXPECT_THROW((void)classify_span(r, span(0, 2)), InvalidArgument);
+}
+
+TEST(Outcome, ToStringAndGlyph) {
+    EXPECT_EQ(to_string(DetectionOutcome::Blind), "blind");
+    EXPECT_EQ(to_string(DetectionOutcome::Weak), "weak");
+    EXPECT_EQ(to_string(DetectionOutcome::Capable), "capable");
+    EXPECT_EQ(outcome_glyph(DetectionOutcome::Blind), '.');
+    EXPECT_EQ(outcome_glyph(DetectionOutcome::Weak), '+');
+    EXPECT_EQ(outcome_glyph(DetectionOutcome::Capable), '*');
+}
+
+}  // namespace
+}  // namespace adiv

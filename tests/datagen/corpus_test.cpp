@@ -1,0 +1,141 @@
+#include "datagen/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/stats.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(CycleMatrix, CycleTransitionDominates) {
+    const TransitionMatrix m = make_cycle_matrix(CorpusSpec{});
+    for (Symbol s = 0; s < 8; ++s)
+        EXPECT_DOUBLE_EQ(m.probability(s, (s + 1) % 8), 1.0 - 0.0025);
+}
+
+TEST(CycleMatrix, DeviationTargetsShareRate) {
+    CorpusSpec spec;
+    const TransitionMatrix m = make_cycle_matrix(spec);
+    for (Symbol s = 0; s < 8; ++s)
+        for (std::size_t k = 1; k <= 3; ++k)
+            EXPECT_DOUBLE_EQ(m.probability(s, (s + 2 * k) % 8), 0.0025 / 3.0);
+}
+
+TEST(CycleMatrix, SomeTransitionsAreForbidden) {
+    const TransitionMatrix m = make_cycle_matrix(CorpusSpec{});
+    for (Symbol s = 0; s < 8; ++s) {
+        const auto forbidden = m.forbidden_successors(s);
+        // Self, s+3, s+5, s+7 are never produced: 4 forbidden successors.
+        EXPECT_EQ(forbidden.size(), 4u);
+        EXPECT_DOUBLE_EQ(m.probability(s, s), 0.0);
+    }
+}
+
+TEST(CycleMatrix, IsRowStochastic) {
+    EXPECT_TRUE(make_cycle_matrix(CorpusSpec{}).row_stochastic());
+}
+
+TEST(CycleMatrix, AlphabetTooSmallThrows) {
+    CorpusSpec spec;
+    spec.alphabet_size = 6;  // needs 2*3+1 < 6 to fail
+    spec.deviation_targets = 3;
+    EXPECT_THROW((void)make_cycle_matrix(spec), InvalidArgument);
+}
+
+TEST(TrainingCorpus, HasRequestedLengthAndAlphabet) {
+    const TrainingCorpus& c = test::small_corpus();
+    EXPECT_EQ(c.training().size(), 200'000u);
+    EXPECT_EQ(c.training().alphabet_size(), 8u);
+    EXPECT_EQ(c.cycle(), (Sequence{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TrainingCorpus, IsDeterministicPerSeed) {
+    CorpusSpec spec;
+    spec.training_length = 5'000;
+    const TrainingCorpus a = TrainingCorpus::generate(spec);
+    const TrainingCorpus b = TrainingCorpus::generate(spec);
+    EXPECT_EQ(a.training().events(), b.training().events());
+}
+
+TEST(TrainingCorpus, DifferentSeedsDiffer) {
+    CorpusSpec spec;
+    spec.training_length = 5'000;
+    const TrainingCorpus a = TrainingCorpus::generate(spec);
+    spec.seed = spec.seed + 1;
+    const TrainingCorpus b = TrainingCorpus::generate(spec);
+    EXPECT_NE(a.training().events(), b.training().events());
+}
+
+TEST(TrainingCorpus, RoughlyNinetyEightPercentCycle) {
+    // Section 5.3: 98% of the stream is repetitions of the base cycle.
+    const double cov =
+        cycle_coverage(test::small_corpus().training(), test::small_corpus().cycle());
+    EXPECT_GT(cov, 0.97);
+    EXPECT_LT(cov, 0.99);
+}
+
+TEST(TrainingCorpus, ContainsRareSequencesOfEveryStudyLength) {
+    // The remaining ~2% yields rare sequences for all lengths used to
+    // compose anomalies (the MFS pieces are (AS-1)-grams for AS in 2..9).
+    const TrainingCorpus& c = test::small_corpus();
+    for (std::size_t len = 2; len <= 8; ++len) {
+        const LengthCensus cen = census(c.training(), len, c.spec().rare_threshold);
+        EXPECT_GT(cen.rare, 0u) << "no rare " << len << "-grams";
+        EXPECT_GT(cen.common, 0u);
+    }
+}
+
+TEST(TrainingCorpus, CycleSuccessorWraps) {
+    const TrainingCorpus& c = test::small_corpus();
+    EXPECT_EQ(c.cycle_successor(3), 4u);
+    EXPECT_EQ(c.cycle_successor(7), 0u);
+}
+
+TEST(TrainingCorpus, DeviationSuccessorsMatchMatrix) {
+    const TrainingCorpus& c = test::small_corpus();
+    for (Symbol s = 0; s < 8; ++s) {
+        for (Symbol t : c.deviation_successors(s)) {
+            EXPECT_GT(c.matrix().probability(s, t), 0.0);
+            EXPECT_NE(t, c.cycle_successor(s));
+        }
+    }
+}
+
+TEST(TrainingCorpus, BackgroundIsPureCycle) {
+    const TrainingCorpus& c = test::small_corpus();
+    const EventStream bg = c.background(100, 3);
+    EXPECT_EQ(bg.size(), 100u);
+    EXPECT_EQ(bg[0], 3u);
+    for (std::size_t i = 1; i < bg.size(); ++i)
+        ASSERT_EQ(bg[i], c.cycle_successor(bg[i - 1]));
+    EXPECT_DOUBLE_EQ(cycle_coverage(bg, c.cycle()), 1.0);
+}
+
+TEST(TrainingCorpus, BackgroundPhaseOutOfRangeThrows) {
+    EXPECT_THROW((void)test::small_corpus().background(10, 8), InvalidArgument);
+}
+
+TEST(TrainingCorpus, HeldoutSharesModelButNotData) {
+    const TrainingCorpus& c = test::small_corpus();
+    const EventStream heldout = c.generate_heldout(50'000, 999);
+    EXPECT_EQ(heldout.size(), 50'000u);
+    // Same statistical character: mostly cycle.
+    EXPECT_GT(cycle_coverage(heldout, c.cycle()), 0.97);
+    // Different realization than training.
+    EXPECT_NE(heldout.events(),
+              Sequence(c.training().events().begin(),
+                       c.training().events().begin() + 50'000));
+}
+
+TEST(TrainingCorpus, PaperScaleCorpusMatchesSection53) {
+    const TrainingCorpus& c = test::paper_corpus();
+    EXPECT_EQ(c.training().size(), 1'000'000u);
+    EXPECT_EQ(c.training().alphabet_size(), 8u);
+    const double cov = cycle_coverage(c.training(), c.cycle());
+    EXPECT_NEAR(cov, 0.98, 0.005);
+}
+
+}  // namespace
+}  // namespace adiv

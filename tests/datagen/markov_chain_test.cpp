@@ -1,0 +1,122 @@
+#include "datagen/markov_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TransitionMatrix coin() {
+    TransitionMatrix m(2);
+    m.set(0, 0, 0.5);
+    m.set(0, 1, 0.5);
+    m.set(1, 0, 1.0);
+    return m;
+}
+
+TEST(TransitionMatrix, StoresProbabilities) {
+    const TransitionMatrix m = coin();
+    EXPECT_DOUBLE_EQ(m.probability(0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(m.probability(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.probability(1, 1), 0.0);
+}
+
+TEST(TransitionMatrix, RowStochasticCheck) {
+    EXPECT_TRUE(coin().row_stochastic());
+    TransitionMatrix bad(2);
+    bad.set(0, 0, 0.3);
+    bad.set(1, 1, 1.0);
+    EXPECT_FALSE(bad.row_stochastic());
+}
+
+TEST(TransitionMatrix, NormalizeRowsScalesToOne) {
+    TransitionMatrix m(2);
+    m.set(0, 0, 2.0);
+    m.set(0, 1, 6.0);
+    m.set(1, 0, 5.0);
+    m.normalize_rows();
+    EXPECT_TRUE(m.row_stochastic());
+    EXPECT_DOUBLE_EQ(m.probability(0, 1), 0.75);
+}
+
+TEST(TransitionMatrix, NormalizeZeroRowThrows) {
+    TransitionMatrix m(2);
+    m.set(0, 0, 1.0);
+    EXPECT_THROW(m.normalize_rows(), DataError);
+}
+
+TEST(TransitionMatrix, NegativeProbabilityThrows) {
+    TransitionMatrix m(2);
+    EXPECT_THROW(m.set(0, 0, -0.1), InvalidArgument);
+}
+
+TEST(TransitionMatrix, OutOfRangeSymbolThrows) {
+    TransitionMatrix m(2);
+    EXPECT_THROW(m.set(2, 0, 0.5), InvalidArgument);
+    EXPECT_THROW((void)m.probability(0, 2), InvalidArgument);
+}
+
+TEST(TransitionMatrix, GenerateProducesRequestedLength) {
+    Rng rng(1);
+    const EventStream s = coin().generate(1000, 0, rng);
+    EXPECT_EQ(s.size(), 1000u);
+    EXPECT_EQ(s[0], 0u);
+}
+
+TEST(TransitionMatrix, GenerateZeroLength) {
+    Rng rng(1);
+    EXPECT_TRUE(coin().generate(0, 0, rng).empty());
+}
+
+TEST(TransitionMatrix, GenerateRespectsZeroTransitions) {
+    Rng rng(2);
+    const EventStream s = coin().generate(5000, 1, rng);
+    // From state 1 the chain always goes to 0: no (1,1) pair can occur.
+    for (std::size_t i = 1; i < s.size(); ++i)
+        ASSERT_FALSE(s[i - 1] == 1 && s[i] == 1) << "forbidden transition at " << i;
+}
+
+TEST(TransitionMatrix, GenerateIsDeterministicPerSeed) {
+    Rng r1(33), r2(33);
+    const EventStream a = coin().generate(500, 0, r1);
+    const EventStream b = coin().generate(500, 0, r2);
+    EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(TransitionMatrix, GenerateMatchesProbabilitiesEmpirically) {
+    Rng rng(5);
+    const EventStream s = coin().generate(100'000, 0, rng);
+    std::size_t zero_to_one = 0, zero_total = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+        if (s[i - 1] == 0) {
+            ++zero_total;
+            if (s[i] == 1) ++zero_to_one;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(zero_to_one) / static_cast<double>(zero_total),
+                0.5, 0.02);
+}
+
+TEST(TransitionMatrix, GenerateOnUnnormalizedThrows) {
+    TransitionMatrix m(2);
+    m.set(0, 0, 0.3);
+    m.set(1, 0, 1.0);
+    Rng rng(1);
+    EXPECT_THROW((void)m.generate(10, 0, rng), DataError);
+}
+
+TEST(TransitionMatrix, ForbiddenSuccessorsListsZeroRows) {
+    const TransitionMatrix m = coin();
+    EXPECT_EQ(m.forbidden_successors(0), std::vector<Symbol>{});
+    EXPECT_EQ(m.forbidden_successors(1), std::vector<Symbol>{1});
+}
+
+TEST(TransitionMatrix, SampleNextOnlyReturnsPositiveRows) {
+    const TransitionMatrix m = coin();
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(m.sample_next(1, rng), 0u);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,94 @@
+#include "datagen/trace_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/ngram_table.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TraceModel tiny_model() {
+    TraceModel m(Alphabet({"a", "b", "c"}));
+    m.add_routine("ab", {"a", "b"}, 3.0);
+    m.add_routine("c", {"c"}, 1.0);
+    return m;
+}
+
+TEST(TraceModel, GeneratesExactLength) {
+    const TraceModel m = tiny_model();
+    EXPECT_EQ(m.generate(100, 1).size(), 100u);
+    EXPECT_EQ(m.generate(1, 1).size(), 1u);
+}
+
+TEST(TraceModel, DeterministicPerSeed) {
+    const TraceModel m = tiny_model();
+    EXPECT_EQ(m.generate(500, 7).events(), m.generate(500, 7).events());
+    EXPECT_NE(m.generate(500, 7).events(), m.generate(500, 8).events());
+}
+
+TEST(TraceModel, RoutineLookup) {
+    const TraceModel m = tiny_model();
+    EXPECT_EQ(m.routine("ab"), (Sequence{0, 1}));
+    EXPECT_THROW((void)m.routine("nope"), InvalidArgument);
+}
+
+TEST(TraceModel, UnknownSymbolInRoutineThrows) {
+    TraceModel m(Alphabet({"a"}));
+    EXPECT_THROW(m.add_routine("bad", {"zzz"}, 1.0), InvalidArgument);
+}
+
+TEST(TraceModel, NonPositiveWeightThrows) {
+    TraceModel m(Alphabet({"a"}));
+    EXPECT_THROW(m.add_routine("bad", {"a"}, 0.0), InvalidArgument);
+}
+
+TEST(TraceModel, EmptyRoutineThrows) {
+    TraceModel m(Alphabet({"a"}));
+    EXPECT_THROW(m.add_routine("bad", {}, 1.0), InvalidArgument);
+}
+
+TEST(TraceModel, GenerateWithoutRoutinesThrows) {
+    TraceModel m(Alphabet({"a"}));
+    EXPECT_THROW((void)m.generate(10, 1), InvalidArgument);
+}
+
+TEST(TraceModel, WeightsShapeTheMix) {
+    const TraceModel m = tiny_model();
+    const EventStream s = m.generate(30'000, 42);
+    std::size_t c_count = 0;
+    for (std::size_t i = 0; i < s.size(); ++i)
+        if (s[i] == 2) ++c_count;
+    // Routine "ab" (2 symbols, weight 3) vs "c" (1 symbol, weight 1):
+    // expected fraction of 'c' symbols = 1 / (3*2 + 1) ~ 0.143.
+    const double frac = static_cast<double>(c_count) / static_cast<double>(s.size());
+    EXPECT_NEAR(frac, 1.0 / 7.0, 0.02);
+}
+
+TEST(SyscallModel, GeneratesValidTrace) {
+    const TraceModel m = make_syscall_model();
+    const EventStream s = m.generate(5'000, 1);
+    EXPECT_EQ(s.alphabet_size(), m.alphabet().size());
+    EXPECT_EQ(s.size(), 5'000u);
+}
+
+TEST(SyscallModel, DominantRoutineShapesNgrams) {
+    const TraceModel m = make_syscall_model();
+    const EventStream s = m.generate(50'000, 2);
+    const NgramTable t = NgramTable::from_stream(s, 3);
+    // The serve_request routine's interior trigram (recv, stat, open) should
+    // be common.
+    const Sequence trigram{m.alphabet().id("recv"), m.alphabet().id("stat"),
+                           m.alphabet().id("open")};
+    EXPECT_GT(t.relative_frequency(trigram), 0.01);
+}
+
+TEST(CommandModel, HasDistinctAlphabetAndRoutines) {
+    const TraceModel m = make_command_model();
+    EXPECT_GE(m.routine_count(), 5u);
+    EXPECT_NO_THROW((void)m.alphabet().id("vi"));
+    EXPECT_NO_THROW((void)m.alphabet().id("make"));
+}
+
+}  // namespace
+}  // namespace adiv

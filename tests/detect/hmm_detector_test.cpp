@@ -1,0 +1,104 @@
+#include "detect/hmm_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+HmmDetectorConfig fast_config() {
+    HmmDetectorConfig cfg;
+    cfg.states = 8;
+    cfg.iterations = 10;
+    cfg.max_training_observations = 10'000;
+    return cfg;
+}
+
+TEST(HmmDetector, WindowOfOneThrows) {
+    EXPECT_THROW(HmmDetector(1), InvalidArgument);
+}
+
+TEST(HmmDetector, ScoreBeforeTrainThrows) {
+    const HmmDetector d(3, fast_config());
+    EXPECT_THROW((void)d.score(EventStream(8, {0, 1, 2})), InvalidArgument);
+}
+
+TEST(HmmDetector, InvalidConfigThrows) {
+    HmmDetectorConfig cfg = fast_config();
+    cfg.states = 0;
+    EXPECT_THROW(HmmDetector(3, cfg), InvalidArgument);
+    cfg = fast_config();
+    cfg.max_training_observations = 1;
+    EXPECT_THROW(HmmDetector(3, cfg), InvalidArgument);
+    cfg = fast_config();
+    cfg.probability_floor = -0.1;
+    EXPECT_THROW(HmmDetector(3, cfg), InvalidArgument);
+}
+
+TEST(HmmDetector, QuietOnCleanBackground) {
+    HmmDetector d(4, fast_config());
+    d.train(test::small_corpus().training());
+    const EventStream bg = test::small_corpus().background(100, 0);
+    const auto r = d.score(bg);
+    ASSERT_EQ(r.size(), bg.window_count(4));
+    // Skip the first few windows (the filter starts from the prior).
+    for (std::size_t i = 8; i < r.size(); ++i)
+        EXPECT_LT(r[i], 0.1) << "window " << i;
+}
+
+TEST(HmmDetector, FlagsDeviationTransitions) {
+    HmmDetector d(2, fast_config());
+    d.train(test::small_corpus().training());
+    EventStream test = test::small_corpus().background(64, 0);
+    test.push_back(1);  // deviation 7 -> 1, probability ~0.08% in the model
+    const auto r = d.score(test);
+    EXPECT_DOUBLE_EQ(r.back(), 1.0);
+}
+
+TEST(HmmDetector, WindowLengthOnlyShiftsAlignment) {
+    // The HMM's conditioning is the hidden state, not the window: responses
+    // at different DW are the same per-position predictions re-aligned.
+    HmmDetector d2(2, fast_config()), d5(5, fast_config());
+    d2.train(test::small_corpus().training());
+    d5.train(test::small_corpus().training());
+    EventStream test = test::small_corpus().background(64, 0);
+    test.push_back(1);
+    const auto r2 = d2.score(test);
+    const auto r5 = d5.score(test);
+    // The deviation is the last element in both cases.
+    EXPECT_DOUBLE_EQ(r2.back(), r5.back());
+}
+
+TEST(HmmDetector, TrainingLikelihoodIsReasonable) {
+    HmmDetector d(3, fast_config());
+    d.train(test::small_corpus().training());
+    // Near-deterministic cycle: per-observation log-likelihood close to 0.
+    EXPECT_GT(d.training_log_likelihood(), -0.5);
+    EXPECT_LE(d.training_log_likelihood(), 0.0);
+    EXPECT_EQ(d.model().states(), 8u);
+}
+
+TEST(HmmDetector, DeterministicPerSeed) {
+    HmmDetector a(3, fast_config()), b(3, fast_config());
+    a.train(test::small_corpus().training());
+    b.train(test::small_corpus().training());
+    const EventStream test = test::small_corpus().background(48, 2);
+    EXPECT_EQ(a.score(test), b.score(test));
+}
+
+TEST(HmmDetector, AlphabetMismatchThrows) {
+    HmmDetector d(3, fast_config());
+    d.train(test::small_corpus().training());
+    EXPECT_THROW((void)d.score(EventStream(4, {0, 1, 2, 3})), InvalidArgument);
+}
+
+TEST(HmmDetector, NameAndWindow) {
+    const HmmDetector d(6, fast_config());
+    EXPECT_EQ(d.name(), "hmm");
+    EXPECT_EQ(d.window_length(), 6u);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,90 @@
+#include "detect/lfc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(LocalityFrame, AlarmsWhenDensityReached) {
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 3;
+    cfg.threshold = 2;
+    const std::vector<double> responses{1, 0, 1, 0, 0, 0};
+    const auto alarms = locality_frame_filter(responses, cfg);
+    // Frames ending at each index: [1]=1, [1,0]=1, [1,0,1]=2 -> alarm,
+    // [0,1,0]=1, [1,0,0]=1, [0,0,0]=0.
+    EXPECT_EQ(alarms, (std::vector<double>{0, 0, 1, 0, 0, 0}));
+}
+
+TEST(LocalityFrame, ThresholdOneMirrorsBinarizedInputWindow) {
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 1;
+    cfg.threshold = 1;
+    const std::vector<double> responses{1, 0, 1};
+    EXPECT_EQ(locality_frame_filter(responses, cfg),
+              (std::vector<double>{1, 0, 1}));
+}
+
+TEST(LocalityFrame, SuppressesIsolatedAnomalies) {
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 10;
+    cfg.threshold = 3;
+    std::vector<double> responses(50, 0.0);
+    responses[5] = 1.0;   // lone anomaly
+    responses[30] = 1.0;  // another lone anomaly
+    const auto alarms = locality_frame_filter(responses, cfg);
+    for (double a : alarms) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(LocalityFrame, PassesDenseBursts) {
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 10;
+    cfg.threshold = 3;
+    std::vector<double> responses(50, 0.0);
+    responses[20] = responses[21] = responses[22] = 1.0;
+    const auto alarms = locality_frame_filter(responses, cfg);
+    EXPECT_DOUBLE_EQ(alarms[22], 1.0);
+    EXPECT_DOUBLE_EQ(alarms[19], 0.0);
+}
+
+TEST(LocalityFrame, BinarizeThresholdFiltersWeakResponses) {
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 2;
+    cfg.threshold = 1;
+    cfg.binarize_at = 0.9;
+    const std::vector<double> responses{0.5, 0.95};
+    EXPECT_EQ(locality_frame_filter(responses, cfg),
+              (std::vector<double>{0, 1}));
+}
+
+TEST(LocalityFrame, WindowSlidesCorrectlyPastBurst) {
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 2;
+    cfg.threshold = 2;
+    const std::vector<double> responses{1, 1, 1, 0, 1};
+    EXPECT_EQ(locality_frame_filter(responses, cfg),
+              (std::vector<double>{0, 1, 1, 0, 0}));
+}
+
+TEST(LocalityFrame, EmptyInputGivesEmptyOutput) {
+    EXPECT_TRUE(locality_frame_filter({}, LocalityFrameConfig{}).empty());
+}
+
+TEST(LocalityFrame, InvalidConfigThrows) {
+    const std::vector<double> r{1.0};
+    LocalityFrameConfig cfg;
+    cfg.frame_size = 0;
+    EXPECT_THROW((void)locality_frame_filter(r, cfg), InvalidArgument);
+    cfg = LocalityFrameConfig{};
+    cfg.threshold = 0;
+    EXPECT_THROW((void)locality_frame_filter(r, cfg), InvalidArgument);
+    cfg = LocalityFrameConfig{};
+    cfg.frame_size = 2;
+    cfg.threshold = 3;
+    EXPECT_THROW((void)locality_frame_filter(r, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,145 @@
+#include "detect/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+// 0 -> 1 (three times), 0 -> 2 (once): P(1|0)=0.75, P(2|0)=0.25.
+EventStream branching() {
+    return EventStream(3, {0, 1, 0, 1, 0, 1, 0, 2, 0});
+}
+
+TEST(Markov, WindowOfOneThrows) {
+    EXPECT_THROW(MarkovDetector(1), InvalidArgument);
+}
+
+TEST(Markov, ScoreBeforeTrainThrows) {
+    const MarkovDetector d(2);
+    EXPECT_THROW((void)d.score(branching()), InvalidArgument);
+}
+
+TEST(Markov, ProbableContinuationScoresLow) {
+    MarkovDetector d(2);
+    d.train(branching());
+    const auto r = d.score(EventStream(3, {0, 1}));
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 1.0 - 0.75, 1e-12);
+}
+
+TEST(Markov, ImprobableContinuationScoresHigher) {
+    MarkovDetector d(2);
+    d.train(branching());
+    const auto r = d.score(EventStream(3, {0, 2}));
+    EXPECT_NEAR(r[0], 1.0 - 0.25, 1e-12);
+}
+
+TEST(Markov, ImpossibleContinuationIsMaximal) {
+    MarkovDetector d(2);
+    d.train(branching());
+    // 1 is always followed by 0 in training; (1,2) has P = 0.
+    const auto r = d.score(EventStream(3, {1, 2}));
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Markov, UnseenContextIsMaximal) {
+    MarkovDetector d(2);
+    d.train(branching());
+    const auto r = d.score(EventStream(3, {2, 0}));
+    // Context {2} occurs once (followed by 0) -> actually seen. Use context
+    // beyond: symbol 2 IS followed by 0 in training, so use window length 3.
+    EXPECT_DOUBLE_EQ(r[0], 0.0);  // (2 -> 0) is certain in training
+    MarkovDetector d3(3);
+    d3.train(branching());
+    // Context (2,2) never occurs.
+    const auto r3 = d3.score(EventStream(3, {2, 2, 0}));
+    EXPECT_DOUBLE_EQ(r3[0], 1.0);
+}
+
+TEST(Markov, FloorQuantizesRareContinuations) {
+    MarkovConfig cfg;
+    cfg.probability_floor = 0.3;  // exaggerated floor for the test
+    MarkovDetector d(2, cfg);
+    d.train(branching());
+    // P(2|0) = 0.25 <= 0.3 -> maximal response.
+    const auto r = d.score(EventStream(3, {0, 2}));
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Markov, ZeroFloorDisablesQuantization) {
+    MarkovConfig cfg;
+    cfg.probability_floor = 0.0;
+    MarkovDetector d(2, cfg);
+    d.train(branching());
+    const auto r = d.score(EventStream(3, {0, 2}));
+    EXPECT_NEAR(r[0], 0.75, 1e-12);
+    // P = 0 still quantizes to 1 (p <= 0).
+    const auto r2 = d.score(EventStream(3, {1, 2}));
+    EXPECT_DOUBLE_EQ(r2[0], 1.0);
+}
+
+TEST(Markov, LaplaceSmoothingLiftsZeroProbabilities) {
+    MarkovConfig cfg;
+    cfg.laplace_alpha = 1.0;
+    cfg.probability_floor = 0.0;
+    MarkovDetector d(2, cfg);
+    d.train(branching());
+    // (1,2): raw P=0; smoothed (0+1)/(3+3) = 1/6 -> response 5/6, not maximal.
+    const auto r = d.score(EventStream(3, {1, 2}));
+    EXPECT_NEAR(r[0], 1.0 - 1.0 / 6.0, 1e-12);
+}
+
+TEST(Markov, ResponseAlignmentMatchesWindows) {
+    MarkovDetector d(3);
+    d.train(test::small_corpus().training());
+    const EventStream test = test::small_corpus().background(50, 0);
+    const auto r = d.score(test);
+    EXPECT_EQ(r.size(), test.window_count(3));
+    // Pure cycle continuations are near-certain: responses ~0.
+    for (double v : r) EXPECT_LT(v, 0.01);
+}
+
+TEST(Markov, MinimumWindowIsTwo) {
+    // Section 6: the Markov assumption makes DW = 2 the smallest window.
+    MarkovDetector d(2);
+    EXPECT_EQ(d.window_length(), 2u);
+    EXPECT_EQ(d.name(), "markov");
+}
+
+TEST(Markov, ModelAccessorAfterTraining) {
+    MarkovDetector d(2);
+    EXPECT_THROW((void)d.model(), InvalidArgument);
+    d.train(branching());
+    EXPECT_EQ(d.model().context_length(), 1u);
+}
+
+TEST(Markov, InvalidConfigThrows) {
+    MarkovConfig cfg;
+    cfg.probability_floor = 1.0;
+    EXPECT_THROW(MarkovDetector(2, cfg), InvalidArgument);
+    cfg = MarkovConfig{};
+    cfg.laplace_alpha = -1.0;
+    EXPECT_THROW(MarkovDetector(2, cfg), InvalidArgument);
+}
+
+TEST(Markov, DetectsDeviationsOnCorpusAtAnyWindow) {
+    // A deviation transition has conditional probability ~ deviation_rate/3
+    // ~ 0.08% < floor -> maximal response, for any context length.
+    const TrainingCorpus& corpus = test::small_corpus();
+    for (std::size_t dw : {2u, 4u, 8u}) {
+        MarkovDetector d(dw);
+        d.train(corpus.training());
+        EventStream test = corpus.background(64, 0);
+        // Continue with a deviation: last symbol is (64-1)%8=7 -> deviation
+        // target 7+2=1.
+        test.push_back(1);
+        const auto r = d.score(test);
+        EXPECT_DOUBLE_EQ(r.back(), 1.0) << "DW=" << dw;
+    }
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,75 @@
+#include "detect/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(Registry, PaperDetectorsAreTheFourOfTheStudy) {
+    const auto kinds = paper_detectors();
+    ASSERT_EQ(kinds.size(), 4u);
+    EXPECT_EQ(kinds[0], DetectorKind::LaneBrodley);
+    EXPECT_EQ(kinds[1], DetectorKind::Markov);
+    EXPECT_EQ(kinds[2], DetectorKind::Stide);
+    EXPECT_EQ(kinds[3], DetectorKind::NeuralNet);
+}
+
+TEST(Registry, ToStringRoundTrips) {
+    for (DetectorKind kind : all_detectors())
+        EXPECT_EQ(detector_kind_from_string(to_string(kind)), kind);
+}
+
+TEST(Registry, AllDetectorsCoversPaperDetectors) {
+    const auto all = all_detectors();
+    for (DetectorKind kind : paper_detectors())
+        EXPECT_NE(std::find(all.begin(), all.end(), kind), all.end());
+    EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(Registry, UnknownNameThrows) {
+    EXPECT_THROW((void)detector_kind_from_string("bogus"), InvalidArgument);
+}
+
+TEST(Registry, MakeDetectorProducesMatchingNameAndWindow) {
+    for (DetectorKind kind : all_detectors()) {
+        const auto d = make_detector(kind, 4);
+        ASSERT_NE(d, nullptr);
+        EXPECT_EQ(d->name(), to_string(kind));
+        EXPECT_EQ(d->window_length(), 4u);
+    }
+}
+
+TEST(Registry, SettingsReachDetectors) {
+    DetectorSettings settings;
+    settings.markov.probability_floor = 0.25;
+    settings.nn.hidden_units = 3;
+    const auto markov = make_detector(DetectorKind::Markov, 3, settings);
+    const auto* m = dynamic_cast<const MarkovDetector*>(markov.get());
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->config().probability_floor, 0.25);
+
+    const auto nn = make_detector(DetectorKind::NeuralNet, 3, settings);
+    const auto* n = dynamic_cast<const NnDetector*>(nn.get());
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->config().hidden_units, 3u);
+}
+
+TEST(Registry, FactoryBuildsPerWindow) {
+    const DetectorFactory factory = factory_for(DetectorKind::Stide);
+    const auto d5 = factory(5);
+    const auto d9 = factory(9);
+    EXPECT_EQ(d5->window_length(), 5u);
+    EXPECT_EQ(d9->window_length(), 9u);
+}
+
+TEST(Registry, MarkovWindowOneStillThrowsThroughFactory) {
+    const DetectorFactory factory = factory_for(DetectorKind::Markov);
+    EXPECT_THROW((void)factory(1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,149 @@
+#include "detect/rule_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(SequenceRule, MatchesConjunction) {
+    SequenceRule rule;
+    rule.conditions = {{0, 3}, {2, 1}};
+    EXPECT_TRUE(rule.matches(Sequence{3, 9, 1}));
+    EXPECT_FALSE(rule.matches(Sequence{3, 9, 2}));
+    EXPECT_FALSE(rule.matches(Sequence{0, 9, 1}));
+}
+
+TEST(SequenceRule, EmptyConditionsMatchEverything) {
+    const SequenceRule rule;
+    EXPECT_TRUE(rule.matches(Sequence{1, 2, 3}));
+    EXPECT_TRUE(rule.matches(Sequence{}));
+}
+
+TEST(RuleDetector, WindowOfOneThrows) {
+    EXPECT_THROW(RuleDetector(1), InvalidArgument);
+}
+
+TEST(RuleDetector, InvalidConfigThrows) {
+    RuleDetectorConfig cfg;
+    cfg.target_precision = 0.0;
+    EXPECT_THROW(RuleDetector(3, cfg), InvalidArgument);
+    cfg = RuleDetectorConfig{};
+    cfg.max_conditions = 0;
+    EXPECT_THROW(RuleDetector(3, cfg), InvalidArgument);
+    cfg = RuleDetectorConfig{};
+    cfg.max_rules = 0;
+    EXPECT_THROW(RuleDetector(3, cfg), InvalidArgument);
+}
+
+TEST(RuleDetector, ScoreBeforeTrainThrows) {
+    const RuleDetector d(3);
+    EXPECT_THROW((void)d.score(EventStream(4, {0, 1, 2})), InvalidArgument);
+}
+
+TEST(RuleDetector, LearnsDeterministicCycleRules) {
+    Sequence events;
+    for (int i = 0; i < 50; ++i)
+        for (Symbol s = 0; s < 4; ++s) events.push_back(s);
+    RuleDetector d(2);
+    d.train(EventStream(4, std::move(events)));
+    // Rules: after s comes s+1, with full confidence.
+    for (Symbol s = 0; s < 4; ++s) {
+        const SequenceRule& rule = d.rule_for(Sequence{s});
+        EXPECT_EQ(rule.prediction, (s + 1) % 4);
+        EXPECT_GT(rule.confidence, 0.99);
+    }
+}
+
+TEST(RuleDetector, RuleListEndsWithDefault) {
+    RuleDetector d(3);
+    d.train(test::small_corpus().training());
+    ASSERT_FALSE(d.rules().empty());
+    EXPECT_TRUE(d.rules().back().conditions.empty());
+}
+
+TEST(RuleDetector, PredictedContinuationScoresZero) {
+    RuleDetector d(2);
+    d.train(test::small_corpus().training());
+    const auto r = d.score(test::small_corpus().background(50, 0));
+    for (double v : r) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RuleDetector, ViolatedConfidentRuleIsMaximal) {
+    RuleDetector d(2);
+    d.train(test::small_corpus().training());
+    EventStream test = test::small_corpus().background(64, 0);
+    test.push_back(1);  // deviation from the near-certain cycle rule
+    const auto r = d.score(test);
+    // The violated rule has confidence ~0.9975, so 1 - confidence ~0.25% is
+    // below the 0.5% floor: maximal response.
+    EXPECT_DOUBLE_EQ(r.back(), 1.0);
+}
+
+TEST(RuleDetector, WeakRuleViolationGivesWeakResponse) {
+    // Context 0 is followed by 1 (60%) and 2 (40%): the learned rule predicts
+    // 1 with confidence 0.6; seeing 2 violates it but only weakly.
+    Sequence events;
+    for (int i = 0; i < 30; ++i) {
+        events.push_back(0);
+        events.push_back(i % 5 < 3 ? 1 : 2);
+    }
+    RuleDetectorConfig cfg;
+    cfg.max_conditions = 1;
+    RuleDetector d(2, cfg);
+    d.train(EventStream(3, std::move(events)));
+    const auto r = d.score(EventStream(3, {0, 2}));
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_GT(r[0], 0.0);
+    EXPECT_LT(r[0], 1.0);
+    EXPECT_NEAR(r[0], 0.6, 0.05);  // response = rule confidence
+}
+
+TEST(RuleDetector, RespectsMaxRules) {
+    RuleDetectorConfig cfg;
+    cfg.max_rules = 3;
+    RuleDetector d(4, cfg);
+    d.train(test::small_corpus().training());
+    EXPECT_LE(d.rules().size(), 3u);
+}
+
+TEST(RuleDetector, LongContextRulesStayCompact) {
+    RuleDetectorConfig cfg;
+    cfg.max_conditions = 2;
+    RuleDetector d(8, cfg);
+    d.train(test::small_corpus().training());
+    for (const SequenceRule& rule : d.rules())
+        EXPECT_LE(rule.conditions.size(), 2u);
+}
+
+TEST(RuleDetector, ContextLengthMismatchThrows) {
+    RuleDetector d(3);
+    d.train(test::small_corpus().training());
+    EXPECT_THROW((void)d.rule_for(Sequence{0}), InvalidArgument);
+}
+
+TEST(RuleDetector, AlphabetMismatchThrows) {
+    RuleDetector d(3);
+    d.train(test::small_corpus().training());
+    EXPECT_THROW((void)d.score(EventStream(4, {0, 1, 2})), InvalidArgument);
+}
+
+TEST(RuleDetector, DeterministicTraining) {
+    RuleDetector a(3), b(3);
+    a.train(test::small_corpus().training());
+    b.train(test::small_corpus().training());
+    ASSERT_EQ(a.rules().size(), b.rules().size());
+    const EventStream test = test::small_corpus().generate_heldout(5'000, 3);
+    EXPECT_EQ(a.score(test), b.score(test));
+}
+
+TEST(RuleDetector, NameAndWindow) {
+    const RuleDetector d(5);
+    EXPECT_EQ(d.name(), "rule");
+    EXPECT_EQ(d.window_length(), 5u);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,112 @@
+#include "detect/stide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+EventStream cycle_train() {
+    Sequence events;
+    for (int i = 0; i < 20; ++i)
+        for (Symbol s = 0; s < 4; ++s) events.push_back(s);
+    return EventStream(4, std::move(events));
+}
+
+TEST(Stide, ScoreBeforeTrainThrows) {
+    const StideDetector d(3);
+    EXPECT_THROW((void)d.score(cycle_train()), InvalidArgument);
+}
+
+TEST(Stide, KnownWindowsScoreZero) {
+    StideDetector d(3);
+    d.train(cycle_train());
+    const EventStream test(4, {0, 1, 2, 3, 0, 1});
+    for (double r : d.score(test)) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Stide, ForeignWindowScoresOne) {
+    StideDetector d(3);
+    d.train(cycle_train());
+    // (1,1,2) never occurs in the cycle.
+    const EventStream test(4, {0, 1, 1, 2, 3});
+    const auto r = d.score(test);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);  // 0,1,1
+    EXPECT_DOUBLE_EQ(r[1], 1.0);  // 1,1,2
+    EXPECT_DOUBLE_EQ(r[2], 0.0);  // 1,2,3
+}
+
+TEST(Stide, ResponsesAreBinary) {
+    StideDetector d(4);
+    d.train(test::small_corpus().training());
+    const EventStream heldout = test::small_corpus().generate_heldout(2000, 5);
+    for (double r : d.score(heldout)) EXPECT_TRUE(r == 0.0 || r == 1.0);
+}
+
+TEST(Stide, ResponseCountMatchesWindowCount) {
+    StideDetector d(5);
+    d.train(cycle_train());
+    const EventStream test(4, {0, 1, 2, 3, 0, 1, 2});
+    EXPECT_EQ(d.score(test).size(), test.window_count(5));
+}
+
+TEST(Stide, ShortTestStreamGivesNoResponses) {
+    StideDetector d(5);
+    d.train(cycle_train());
+    EXPECT_TRUE(d.score(EventStream(4, {0, 1})).empty());
+}
+
+TEST(Stide, AlphabetMismatchThrows) {
+    StideDetector d(3);
+    d.train(cycle_train());
+    EXPECT_THROW((void)d.score(EventStream(8, {0, 1, 2, 3})), InvalidArgument);
+}
+
+TEST(Stide, NormalDatabaseSizeOnPureCycle) {
+    StideDetector d(4);
+    d.train(cycle_train());
+    // Pure 4-cycle data has exactly 4 distinct windows of any length <= run.
+    EXPECT_EQ(d.normal_database_size(), 4u);
+}
+
+TEST(Stide, WindowLengthOneAllowed) {
+    StideDetector d(1);
+    d.train(cycle_train());
+    const auto r = d.score(EventStream(4, {0, 3}));
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_DOUBLE_EQ(r[0], 0.0);
+}
+
+TEST(Stide, RetrainReplacesModel) {
+    StideDetector d(2);
+    d.train(cycle_train());
+    EXPECT_DOUBLE_EQ(d.score(EventStream(4, {0, 1}))[0], 0.0);
+    d.train(EventStream(4, {2, 2, 2, 2}));
+    EXPECT_DOUBLE_EQ(d.score(EventStream(4, {0, 1}))[0], 1.0);
+}
+
+TEST(Stide, NameAndWindow) {
+    const StideDetector d(6);
+    EXPECT_EQ(d.name(), "stide");
+    EXPECT_EQ(d.window_length(), 6u);
+}
+
+// Stide's defining law on the study corpus: a foreign sequence is visible iff
+// the window is at least as long as the sequence (Section 7, point 2).
+TEST(Stide, CannotSeeForeignSequenceShorterWindows) {
+    // Minimal check without the full suite: the pair (0,0) is foreign in the
+    // corpus; Stide with DW=2 sees it, and every window inside a size-4
+    // MFS at DW=3 is a proper sub-sequence, hence present.
+    StideDetector d(2);
+    d.train(test::small_corpus().training());
+    EventStream test = test::small_corpus().background(64, 1);
+    test.append(Sequence{0, 0});  // background ends at 0 (phase 1+63 = 0)
+    const auto r = d.score(test);
+    EXPECT_DOUBLE_EQ(r.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,87 @@
+#include "detect/tstide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/stide.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+// 0 1 repeated 100 times, then a single 0 0: (0,0) is present but rare.
+EventStream mostly_alternating() {
+    Sequence events;
+    for (int i = 0; i < 100; ++i) {
+        events.push_back(0);
+        events.push_back(1);
+    }
+    events.push_back(0);
+    events.push_back(0);
+    return EventStream(2, std::move(events));
+}
+
+TEST(Tstide, FlagsRarePresentWindows) {
+    TstideDetector d(2);
+    d.train(mostly_alternating());
+    const EventStream test(2, {1, 0, 0});
+    const auto r = d.score(test);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_DOUBLE_EQ(r[0], 0.0);  // (1,0) common
+    EXPECT_DOUBLE_EQ(r[1], 1.0);  // (0,0) present but rare
+}
+
+TEST(Tstide, FlagsForeignWindows) {
+    TstideDetector d(2);
+    d.train(mostly_alternating());
+    const auto r = d.score(EventStream(2, {1, 1}));
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+}
+
+TEST(Tstide, ThresholdControlsRarity) {
+    // With a tiny threshold the rare (0,0) window becomes acceptable.
+    TstideConfig cfg;
+    cfg.rare_threshold = 1e-9;
+    TstideDetector d(2, cfg);
+    d.train(mostly_alternating());
+    const auto r = d.score(EventStream(2, {0, 0}));
+    EXPECT_DOUBLE_EQ(r[0], 0.0);
+}
+
+TEST(Tstide, CoverageIsSupersetOfStideOnSameData) {
+    // Every window Stide flags (foreign) t-stide flags too.
+    TstideDetector t(3);
+    t.train(test::small_corpus().training());
+    const EventStream heldout = test::small_corpus().generate_heldout(3000, 77);
+    const auto rt = t.score(heldout);
+
+    StideDetector s(3);
+    s.train(test::small_corpus().training());
+    const auto rs = s.score(heldout);
+
+    ASSERT_EQ(rt.size(), rs.size());
+    for (std::size_t i = 0; i < rt.size(); ++i)
+        if (rs[i] == 1.0) EXPECT_DOUBLE_EQ(rt[i], 1.0);
+}
+
+TEST(Tstide, InvalidThresholdThrows) {
+    TstideConfig cfg;
+    cfg.rare_threshold = 0.0;
+    EXPECT_THROW(TstideDetector(2, cfg), InvalidArgument);
+    cfg.rare_threshold = 1.0;
+    EXPECT_THROW(TstideDetector(2, cfg), InvalidArgument);
+}
+
+TEST(Tstide, ScoreBeforeTrainThrows) {
+    const TstideDetector d(2);
+    EXPECT_THROW((void)d.score(mostly_alternating()), InvalidArgument);
+}
+
+TEST(Tstide, NameAndWindow) {
+    const TstideDetector d(4);
+    EXPECT_EQ(d.name(), "t-stide");
+    EXPECT_EQ(d.window_length(), 4u);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,118 @@
+// Integration: expected MFS performance-map shape for EVERY detector in the
+// library, including the extension detectors — one parameterized sweep.
+//
+// Expected shapes on the study corpus:
+//   * stide          — capable iff DW >= AS (Figure 5);
+//   * lane-brodley   — never capable (Figure 3);
+//   * markov         — capable everywhere (Figure 4);
+//   * neural-net     — capable everywhere (Figure 6, tuned);
+//   * t-stide        — capable everywhere: every MFS is composed of rare
+//     sub-sequences, so some in-span window is rare at every window length;
+//   * hmm            — capable everywhere: the deviation transitions inside
+//     the anomaly are improbable under the learned state model;
+//   * rule           — capable everywhere: deviations violate the learned
+//     high-confidence cycle rules.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hpp"
+#include "detect/registry.hpp"
+#include "support/corpus_fixture.hpp"
+
+namespace adiv {
+namespace {
+
+enum class Shape { Diagonal, NeverCapable, FullCoverage, SubsetOfDiagonal };
+
+Shape expected_shape(DetectorKind kind) {
+    switch (kind) {
+        case DetectorKind::Stide: return Shape::Diagonal;
+        case DetectorKind::LaneBrodley: return Shape::NeverCapable;
+        case DetectorKind::Markov:
+        case DetectorKind::NeuralNet:
+        case DetectorKind::TStide:
+        case DetectorKind::Hmm:
+        case DetectorKind::Rule: return Shape::FullCoverage;
+        case DetectorKind::LookaheadPairs: return Shape::SubsetOfDiagonal;
+    }
+    return Shape::FullCoverage;
+}
+
+const PerformanceMap& map_for(DetectorKind kind) {
+    static std::map<DetectorKind, PerformanceMap> cache = [] {
+        DetectorSettings settings;
+        settings.nn.epochs = 300;
+        settings.hmm.iterations = 20;
+        std::map<DetectorKind, PerformanceMap> maps;
+        for (DetectorKind k : all_detectors())
+            maps.emplace(k, run_map_experiment(test::small_suite(), to_string(k),
+                                               factory_for(k, settings)));
+        return maps;
+    }();
+    return cache.at(kind);
+}
+
+class AllDetectorMaps : public ::testing::TestWithParam<DetectorKind> {};
+
+TEST_P(AllDetectorMaps, MapMatchesExpectedShape) {
+    const DetectorKind kind = GetParam();
+    const PerformanceMap& map = map_for(kind);
+    const Shape shape = expected_shape(kind);
+    for (std::size_t as : test::small_suite().anomaly_sizes()) {
+        for (std::size_t dw : test::small_suite().window_lengths()) {
+            const DetectionOutcome outcome = map.at(as, dw).outcome;
+            switch (shape) {
+                case Shape::Diagonal:
+                    EXPECT_EQ(outcome, dw >= as ? DetectionOutcome::Capable
+                                                : DetectionOutcome::Blind)
+                        << to_string(kind) << " AS=" << as << " DW=" << dw;
+                    break;
+                case Shape::NeverCapable:
+                    EXPECT_NE(outcome, DetectionOutcome::Capable)
+                        << to_string(kind) << " AS=" << as << " DW=" << dw;
+                    break;
+                case Shape::FullCoverage:
+                    EXPECT_EQ(outcome, DetectionOutcome::Capable)
+                        << to_string(kind) << " AS=" << as << " DW=" << dw;
+                    break;
+                case Shape::SubsetOfDiagonal:
+                    // The pair model generalizes over training windows, so it
+                    // can only detect where a whole-window matcher would.
+                    if (dw < as)
+                        EXPECT_EQ(outcome, DetectionOutcome::Blind)
+                            << to_string(kind) << " AS=" << as << " DW=" << dw;
+                    break;
+            }
+        }
+    }
+}
+
+TEST_P(AllDetectorMaps, CoverageIsSupersetOfStide) {
+    // Every detector except L&B covers at least Stide's cells — the subset
+    // structure that makes Stide the universal suppressor.
+    const DetectorKind kind = GetParam();
+    if (kind == DetectorKind::LaneBrodley || kind == DetectorKind::LookaheadPairs)
+        GTEST_SKIP();
+    const PerformanceMap& stide = map_for(DetectorKind::Stide);
+    const PerformanceMap& other = map_for(kind);
+    for (std::size_t as : test::small_suite().anomaly_sizes()) {
+        for (std::size_t dw : test::small_suite().window_lengths()) {
+            if (stide.at(as, dw).outcome == DetectionOutcome::Capable)
+                EXPECT_EQ(other.at(as, dw).outcome, DetectionOutcome::Capable)
+                    << to_string(kind) << " AS=" << as << " DW=" << dw;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AllDetectorMaps,
+                         ::testing::ValuesIn(all_detectors()),
+                         [](const auto& info) {
+                             std::string name = to_string(info.param);
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,155 @@
+// Integration: the paper's four performance maps (Figures 3-6) as testable
+// properties, computed over the full (reduced-grid) evaluation suite.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "detect/lane_brodley.hpp"
+#include "detect/registry.hpp"
+#include "support/corpus_fixture.hpp"
+
+namespace adiv {
+namespace {
+
+const PerformanceMap& map_for(DetectorKind kind) {
+    static std::map<DetectorKind, PerformanceMap> cache = [] {
+        std::map<DetectorKind, PerformanceMap> maps;
+        DetectorSettings settings;
+        settings.nn.epochs = 300;
+        for (DetectorKind k : paper_detectors()) {
+            maps.emplace(k, run_map_experiment(test::small_suite(), to_string(k),
+                                               factory_for(k, settings)));
+        }
+        return maps;
+    }();
+    return cache.at(kind);
+}
+
+TEST(Maps, GridIsComplete) {
+    for (DetectorKind kind : paper_detectors()) {
+        const PerformanceMap& map = map_for(kind);
+        for (std::size_t as : test::small_suite().anomaly_sizes())
+            for (std::size_t dw : test::small_suite().window_lengths())
+                EXPECT_TRUE(map.has(as, dw));
+    }
+}
+
+// Figure 5: Stide detects a minimal foreign sequence iff DW >= AS.
+TEST(Maps, StideDetectsIffWindowAtLeastAnomaly) {
+    const PerformanceMap& map = map_for(DetectorKind::Stide);
+    for (std::size_t as : test::small_suite().anomaly_sizes()) {
+        for (std::size_t dw : test::small_suite().window_lengths()) {
+            const DetectionOutcome expected = dw >= as ? DetectionOutcome::Capable
+                                                       : DetectionOutcome::Blind;
+            EXPECT_EQ(map.at(as, dw).outcome, expected)
+                << "stide AS=" << as << " DW=" << dw;
+        }
+    }
+}
+
+// Figure 4: the Markov detector covers the entire defined region.
+TEST(Maps, MarkovDetectsEverywhere) {
+    const PerformanceMap& map = map_for(DetectorKind::Markov);
+    for (std::size_t as : test::small_suite().anomaly_sizes())
+        for (std::size_t dw : test::small_suite().window_lengths())
+            EXPECT_EQ(map.at(as, dw).outcome, DetectionOutcome::Capable)
+                << "markov AS=" << as << " DW=" << dw;
+}
+
+// Figure 3: L&B never produces a maximal response — the entire space is
+// unstarred ("blind region" in the paper's chart).
+TEST(Maps, LaneBrodleyNeverCapable) {
+    const PerformanceMap& map = map_for(DetectorKind::LaneBrodley);
+    EXPECT_EQ(map.count(DetectionOutcome::Capable), 0u);
+}
+
+// The finer structure behind Figure 3: below the diagonal every window in
+// the incident span exists in training, so L&B sees literally nothing; at
+// and above the diagonal the foreign window produces only a weak "slight
+// dip" response.
+TEST(Maps, LaneBrodleyWeakExactlyWhereStideDetects) {
+    const PerformanceMap& lb = map_for(DetectorKind::LaneBrodley);
+    for (std::size_t as : test::small_suite().anomaly_sizes()) {
+        for (std::size_t dw : test::small_suite().window_lengths()) {
+            const DetectionOutcome expected =
+                dw >= as ? DetectionOutcome::Weak : DetectionOutcome::Blind;
+            EXPECT_EQ(lb.at(as, dw).outcome, expected)
+                << "lane-brodley AS=" << as << " DW=" << dw;
+        }
+    }
+}
+
+// Section 7: an edge-element mismatch leaves L&B's similarity at DW(DW-1)/2,
+// i.e. a response of 2/(DW+1) that shrinks as the window grows — the single
+// mismatch is progressively diluted, so the detector drifts toward "normal"
+// exactly when windows get longer.
+TEST(Maps, LaneBrodleyEdgeMismatchResponseShrinksWithWindow) {
+    double previous = 1.0;
+    for (std::size_t dw = 2; dw <= 15; ++dw) {
+        Sequence normal(dw), foreign(dw);
+        for (std::size_t i = 0; i < dw; ++i) normal[i] = foreign[i] = Symbol(i % 7);
+        foreign.back() = 7;  // single mismatch at the edge
+        const double sim =
+            static_cast<double>(lane_brodley_similarity(normal, foreign));
+        const double response =
+            1.0 - sim / static_cast<double>(lane_brodley_max_similarity(dw));
+        EXPECT_NEAR(response, 2.0 / (static_cast<double>(dw) + 1.0), 1e-12);
+        EXPECT_LT(response, previous);
+        previous = response;
+    }
+}
+
+// The span maximum itself is NOT monotone in DW (window alignment against
+// the normal database shifts), but it must stay strictly weak — bounded away
+// from both blind and maximal — wherever a foreign window is in view.
+TEST(Maps, LaneBrodleyMaxResponseStaysStrictlyWeakAboveDiagonal) {
+    const PerformanceMap& lb = map_for(DetectorKind::LaneBrodley);
+    for (std::size_t as : test::small_suite().anomaly_sizes()) {
+        for (std::size_t dw : test::small_suite().window_lengths()) {
+            if (dw < as) continue;
+            const double r = lb.at(as, dw).max_response;
+            EXPECT_GT(r, 0.0) << "AS=" << as << " DW=" << dw;
+            EXPECT_LT(r, 1.0) << "AS=" << as << " DW=" << dw;
+        }
+    }
+}
+
+// Figure 6: the neural network mimics the Markov detector.
+TEST(Maps, NeuralNetMimicsMarkov) {
+    const PerformanceMap& nn = map_for(DetectorKind::NeuralNet);
+    const PerformanceMap& markov = map_for(DetectorKind::Markov);
+    std::size_t agreements = 0, cells = 0;
+    for (std::size_t as : test::small_suite().anomaly_sizes()) {
+        for (std::size_t dw : test::small_suite().window_lengths()) {
+            ++cells;
+            if (nn.at(as, dw).outcome == markov.at(as, dw).outcome) ++agreements;
+        }
+    }
+    // Well-tuned NN matches Markov on the whole grid.
+    EXPECT_EQ(agreements, cells);
+}
+
+// Parameterized spot check: capable cells really contain a maximal response
+// and blind cells contain none.
+class MapCellTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MapCellTest, StideCellEvidenceIsConsistent) {
+    const auto [as, dw] = GetParam();
+    const PerformanceMap& map = map_for(DetectorKind::Stide);
+    const SpanScore& score = map.at(as, dw);
+    if (score.outcome == DetectionOutcome::Capable) {
+        EXPECT_GE(score.max_response, 1.0 - 1e-9);
+        const auto& entry = test::small_suite().entry(as, dw);
+        EXPECT_TRUE(entry.stream.span.contains(score.argmax_window));
+    } else {
+        EXPECT_LT(score.max_response, 1.0 - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MapCellTest,
+    ::testing::Combine(::testing::Values(2u, 4u, 6u, 8u, 9u),
+                       ::testing::Values(2u, 5u, 8u, 10u)));
+
+}  // namespace
+}  // namespace adiv

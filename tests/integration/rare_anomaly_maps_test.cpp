@@ -1,0 +1,98 @@
+// Integration: rare-sequence anomaly coverage for every detector — the
+// §5.1 dichotomy as a parameterized property.
+//
+// Expected: detectors whose normal model is a set of observed patterns
+// (stide, lane-brodley, lookahead-pairs) are blind to an event that occurs
+// in training, however rarely; frequency/probability-based detectors
+// (markov, neural-net, t-stide, hmm, rule) detect it.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "anomaly/rare_anomaly.hpp"
+#include "core/response.hpp"
+#include "detect/registry.hpp"
+#include "support/corpus_fixture.hpp"
+
+namespace adiv {
+namespace {
+
+bool frequency_blind(DetectorKind kind) {
+    return kind == DetectorKind::Stide || kind == DetectorKind::LaneBrodley ||
+           kind == DetectorKind::LookaheadPairs;
+}
+
+struct RareGrid {
+    std::map<std::pair<std::size_t, std::size_t>, InjectedStream> streams;
+    std::vector<std::size_t> as_values{2, 3, 4, 5, 6};
+    std::vector<std::size_t> dw_values{2, 4, 6};
+};
+
+const RareGrid& grid() {
+    static const RareGrid g = [] {
+        RareGrid out;
+        const SubsequenceOracle oracle(test::small_corpus().training());
+        const RareAnomalyBuilder builder(oracle);
+        const RareInjector injector(test::small_corpus(), oracle);
+        for (std::size_t as : out.as_values) {
+            for (const Sequence& anomaly : builder.candidates(as, 32)) {
+                std::map<std::pair<std::size_t, std::size_t>, InjectedStream>
+                    cells;
+                bool ok = true;
+                for (std::size_t dw : out.dw_values) {
+                    auto injected = injector.try_inject(anomaly, dw, 1024);
+                    if (!injected) {
+                        ok = false;
+                        break;
+                    }
+                    cells[{as, dw}] = std::move(*injected);
+                }
+                if (!ok) continue;
+                for (auto& [key, stream] : cells)
+                    out.streams[key] = std::move(stream);
+                break;
+            }
+        }
+        return out;
+    }();
+    return g;
+}
+
+class RareAnomalyMaps : public ::testing::TestWithParam<DetectorKind> {};
+
+TEST_P(RareAnomalyMaps, OutcomeMatchesDetectorFamily) {
+    const DetectorKind kind = GetParam();
+    DetectorSettings settings;
+    settings.nn.epochs = 400;
+    settings.hmm.iterations = 25;
+    ASSERT_FALSE(grid().streams.empty());
+    for (std::size_t dw : grid().dw_values) {
+        auto detector = make_detector(kind, dw, settings);
+        detector->train(test::small_corpus().training());
+        for (std::size_t as : grid().as_values) {
+            const auto it = grid().streams.find({as, dw});
+            if (it == grid().streams.end()) continue;
+            const SpanScore score =
+                classify_span(detector->score(it->second.stream), it->second.span);
+            if (frequency_blind(kind)) {
+                EXPECT_EQ(score.outcome, DetectionOutcome::Blind)
+                    << to_string(kind) << " AS=" << as << " DW=" << dw;
+            } else {
+                EXPECT_EQ(score.outcome, DetectionOutcome::Capable)
+                    << to_string(kind) << " AS=" << as << " DW=" << dw;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RareAnomalyMaps,
+                         ::testing::ValuesIn(all_detectors()),
+                         [](const auto& info) {
+                             std::string name = to_string(info.param);
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,139 @@
+#include "io/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+// Round-trip property, parameterized over every detector kind: a model saved
+// and reloaded produces bit-identical responses on both normal data and an
+// anomaly stream, with no retraining.
+class ModelRoundTrip : public ::testing::TestWithParam<DetectorKind> {};
+
+TEST_P(ModelRoundTrip, ReloadedModelScoresIdentically) {
+    const DetectorKind kind = GetParam();
+    DetectorSettings settings;
+    settings.nn.epochs = 150;
+    settings.hmm.iterations = 10;
+    const std::size_t dw = 5;
+    auto original = make_detector(kind, dw, settings);
+    original->train(test::small_corpus().training());
+
+    std::stringstream buffer;
+    save_detector(*original, buffer);
+    const auto restored = load_detector(buffer);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->name(), original->name());
+    EXPECT_EQ(restored->window_length(), dw);
+    EXPECT_EQ(restored->alphabet_size(), original->alphabet_size());
+
+    const EventStream heldout = test::small_corpus().generate_heldout(5'000, 42);
+    EXPECT_EQ(restored->score(heldout), original->score(heldout));
+    const EventStream& anomaly_stream =
+        test::small_suite().entry(4, dw).stream.stream;
+    EXPECT_EQ(restored->score(anomaly_stream), original->score(anomaly_stream));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ModelRoundTrip,
+                         ::testing::ValuesIn(all_detectors()),
+                         [](const auto& info) {
+                             std::string name = to_string(info.param);
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+TEST(ModelIo, SavingUntrainedDetectorThrows) {
+    for (DetectorKind kind : all_detectors()) {
+        const auto d = make_detector(kind, 4);
+        std::ostringstream out;
+        EXPECT_THROW(save_detector(*d, out), InvalidArgument) << to_string(kind);
+    }
+}
+
+TEST(ModelIo, RejectsWrongEnvelopeTag) {
+    std::istringstream in("not-a-model 1 stide");
+    EXPECT_THROW((void)load_detector(in), DataError);
+}
+
+TEST(ModelIo, RejectsUnsupportedVersion) {
+    std::istringstream in("adiv-model 99 stide 2 8 0");
+    EXPECT_THROW((void)load_detector(in), DataError);
+}
+
+TEST(ModelIo, RejectsUnknownKind) {
+    std::istringstream in("adiv-model 1 quantum");
+    EXPECT_THROW((void)load_detector(in), InvalidArgument);
+}
+
+TEST(ModelIo, RejectsTruncatedBody) {
+    auto d = make_detector(DetectorKind::Stide, 3);
+    d->train(test::small_corpus().training());
+    std::ostringstream out;
+    save_detector(*d, out);
+    const std::string full = out.str();
+    std::istringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW((void)load_detector(truncated), DataError);
+}
+
+TEST(ModelIo, RejectsOutOfAlphabetSymbols) {
+    std::istringstream in("adiv-model 1 stide 2 8 1 9 9 5");
+    EXPECT_THROW((void)load_detector(in), DataError);
+}
+
+TEST(ModelIo, FileHelpersRoundTrip) {
+    auto d = make_detector(DetectorKind::Markov, 4);
+    d->train(test::small_corpus().training());
+    const std::string path = ::testing::TempDir() + "/adiv_model_io_test.adiv";
+    save_detector_file(*d, path);
+    const auto restored = load_detector_file(path);
+    const EventStream heldout = test::small_corpus().generate_heldout(2'000, 9);
+    EXPECT_EQ(restored->score(heldout), d->score(heldout));
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileThrows) {
+    EXPECT_THROW((void)load_detector_file("/nonexistent/path/model.adiv"),
+                 DataError);
+}
+
+TEST(ModelIo, RuleModelPreservesRuleList) {
+    RuleDetector original(4);
+    original.train(test::small_corpus().training());
+    std::stringstream buffer;
+    original.save_model(buffer);
+    const RuleDetector restored = RuleDetector::load_model(buffer);
+    ASSERT_EQ(restored.rules().size(), original.rules().size());
+    for (std::size_t i = 0; i < original.rules().size(); ++i) {
+        EXPECT_EQ(restored.rules()[i].prediction, original.rules()[i].prediction);
+        EXPECT_DOUBLE_EQ(restored.rules()[i].confidence,
+                         original.rules()[i].confidence);
+        EXPECT_EQ(restored.rules()[i].conditions.size(),
+                  original.rules()[i].conditions.size());
+    }
+}
+
+TEST(ModelIo, HmmModelPreservesParametersExactly) {
+    HmmDetectorConfig cfg;
+    cfg.iterations = 8;
+    HmmDetector original(3, cfg);
+    original.train(test::small_corpus().training());
+    std::stringstream buffer;
+    original.save_model(buffer);
+    const HmmDetector restored = HmmDetector::load_model(buffer);
+    EXPECT_DOUBLE_EQ(restored.training_log_likelihood(),
+                     original.training_log_likelihood());
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            EXPECT_DOUBLE_EQ(restored.model().transitions().at(i, j),
+                             original.model().transitions().at(i, j));
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,39 @@
+#include "nn/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(OneHot, EncodesEachPosition) {
+    const auto v = one_hot_context(Sequence{2, 0}, 3);
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_EQ(v, (std::vector<double>{0, 0, 1, 1, 0, 0}));
+}
+
+TEST(OneHot, EmptyContextIsEmptyVector) {
+    EXPECT_TRUE(one_hot_context(Sequence{}, 5).empty());
+}
+
+TEST(OneHot, ExactlyOneHotPerSymbol) {
+    const auto v = one_hot_context(Sequence{1, 3, 0, 2}, 4);
+    for (std::size_t k = 0; k < 4; ++k) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 4; ++c) sum += v[k * 4 + c];
+        EXPECT_DOUBLE_EQ(sum, 1.0);
+    }
+}
+
+TEST(OneHot, SymbolOutsideAlphabetThrows) {
+    EXPECT_THROW((void)one_hot_context(Sequence{3}, 3), InvalidArgument);
+}
+
+TEST(OneHot, SizeHelperMatches) {
+    EXPECT_EQ(one_hot_size(4, 8), 32u);
+    EXPECT_EQ(one_hot_context(Sequence{0, 0, 0, 0}, 8).size(), one_hot_size(4, 8));
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,149 @@
+#include "nn/hmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+Sequence alternating(std::size_t length) {
+    Sequence s(length);
+    for (std::size_t i = 0; i < length; ++i) s[i] = static_cast<Symbol>(i % 2);
+    return s;
+}
+
+TEST(Hmm, ConstructionValidatesConfig) {
+    EXPECT_THROW(Hmm(0), InvalidArgument);
+    HmmConfig cfg;
+    cfg.states = 0;
+    EXPECT_THROW(Hmm(4, cfg), InvalidArgument);
+    cfg = HmmConfig{};
+    cfg.iterations = 0;
+    EXPECT_THROW(Hmm(4, cfg), InvalidArgument);
+}
+
+TEST(Hmm, InitialParametersAreStochastic) {
+    const Hmm model(4);
+    double pi_sum = 0.0;
+    for (double v : model.initial()) pi_sum += v;
+    EXPECT_NEAR(pi_sum, 1.0, 1e-9);
+    for (std::size_t i = 0; i < model.states(); ++i) {
+        double a_sum = 0.0, b_sum = 0.0;
+        for (std::size_t j = 0; j < model.states(); ++j)
+            a_sum += model.transitions().at(i, j);
+        for (std::size_t k = 0; k < 4; ++k) b_sum += model.emissions().at(i, k);
+        EXPECT_NEAR(a_sum, 1.0, 1e-9);
+        EXPECT_NEAR(b_sum, 1.0, 1e-9);
+    }
+}
+
+TEST(Hmm, FitImprovesLikelihood) {
+    HmmConfig cfg;
+    cfg.states = 2;
+    cfg.iterations = 30;
+    Hmm model(2, cfg);
+    const Sequence obs = alternating(400);
+    const double before = model.log_likelihood(obs);
+    const double after = model.fit(obs);
+    EXPECT_GT(after, before);
+}
+
+TEST(Hmm, LearnsDeterministicAlternation) {
+    HmmConfig cfg;
+    cfg.states = 2;
+    cfg.iterations = 60;
+    Hmm model(2, cfg);
+    model.fit(alternating(600));
+    // After 0 the next symbol is always 1 and vice versa: predictive
+    // probabilities (past the first symbol) approach 1.
+    const auto probs = model.predictive_probabilities(alternating(50));
+    for (std::size_t t = 5; t < probs.size(); ++t)
+        EXPECT_GT(probs[t], 0.95) << "position " << t;
+}
+
+TEST(Hmm, PredictiveProbabilitiesAreProbabilities) {
+    Hmm model(3);
+    const Sequence obs{0, 1, 2, 0, 1, 2, 2, 1};
+    for (double p : model.predictive_probabilities(obs)) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0 + 1e-12);
+    }
+}
+
+TEST(Hmm, FilterMatchesBatchPredictions) {
+    HmmConfig cfg;
+    cfg.states = 3;
+    Hmm model(3, cfg);
+    model.fit(Sequence{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 1, 0});
+    const Sequence obs{0, 1, 2, 0, 2, 1};
+    const auto batch = model.predictive_probabilities(obs);
+    Hmm::Filter filter(model);
+    for (std::size_t t = 0; t < obs.size(); ++t)
+        EXPECT_NEAR(filter.step(obs[t]), batch[t], 1e-12);
+}
+
+TEST(Hmm, FilterResetRestoresPrior) {
+    Hmm model(2);
+    Hmm::Filter filter(model);
+    const double first = filter.step(0);
+    filter.step(1);
+    filter.reset();
+    EXPECT_NEAR(filter.step(0), first, 1e-12);
+}
+
+TEST(Hmm, SetParametersRoundTrip) {
+    Hmm model(2);
+    HmmConfig cfg;
+    cfg.states = 8;  // default
+    std::vector<double> pi(8, 1.0 / 8);
+    Matrix a(8, 8, 1.0 / 8);
+    Matrix b(8, 2, 0.5);
+    model.set_parameters(pi, a, b);
+    EXPECT_NEAR(model.initial()[3], 1.0 / 8, 1e-12);
+    EXPECT_NEAR(model.transitions().at(2, 5), 1.0 / 8, 1e-12);
+    // Uniform model: every prediction is 0.5.
+    const auto probs = model.predictive_probabilities(Sequence{0, 1, 1});
+    for (double p : probs) EXPECT_NEAR(p, 0.5, 1e-12);
+}
+
+TEST(Hmm, SetParametersShapeMismatchThrows) {
+    Hmm model(2);
+    EXPECT_THROW(model.set_parameters(std::vector<double>(3, 0.33), Matrix(8, 8),
+                                      Matrix(8, 2)),
+                 InvalidArgument);
+    EXPECT_THROW(model.set_parameters(std::vector<double>(8, 0.125), Matrix(7, 8),
+                                      Matrix(8, 2)),
+                 InvalidArgument);
+}
+
+TEST(Hmm, DeterministicPerSeed) {
+    HmmConfig cfg;
+    cfg.states = 3;
+    Hmm a(4, cfg), b(4, cfg);
+    const Sequence obs{0, 1, 2, 3, 0, 1, 2, 3, 1, 1};
+    EXPECT_DOUBLE_EQ(a.fit(obs), b.fit(obs));
+}
+
+TEST(Hmm, RejectsBadObservations) {
+    Hmm model(3);
+    EXPECT_THROW((void)model.fit(Sequence{0}), InvalidArgument);
+    EXPECT_THROW((void)model.fit(Sequence{0, 5}), InvalidArgument);
+    EXPECT_THROW((void)model.log_likelihood(Sequence{}), InvalidArgument);
+}
+
+TEST(Hmm, LikelihoodOfImpossibleSymbolIsTiny) {
+    // Train so hard on alternation that a repeated symbol is near-impossible.
+    HmmConfig cfg;
+    cfg.states = 2;
+    cfg.iterations = 60;
+    Hmm model(2, cfg);
+    model.fit(alternating(600));
+    const auto probs = model.predictive_probabilities(Sequence{0, 1, 0, 0});
+    EXPECT_LT(probs.back(), 0.05);
+}
+
+}  // namespace
+}  // namespace adiv

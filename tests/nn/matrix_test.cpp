@@ -1,0 +1,106 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+    const Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+}
+
+TEST(Matrix, ZeroDimensionsThrow) {
+    EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+    EXPECT_THROW(Matrix(3, 0), InvalidArgument);
+}
+
+TEST(Matrix, AtReadsAndWrites) {
+    Matrix m(2, 2);
+    m.at(0, 1) = 7.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(Matrix, RowSpansShareStorage) {
+    Matrix m(2, 3);
+    m.row(1)[2] = 9.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 9.0);
+}
+
+TEST(Matrix, MultiplyComputesMatVec) {
+    Matrix m(2, 3);
+    // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+    for (std::size_t c = 0; c < 3; ++c) {
+        m.at(0, c) = static_cast<double>(c + 1);
+        m.at(1, c) = static_cast<double>(c + 4);
+    }
+    const std::vector<double> x{1.0, 1.0, 1.0};
+    std::vector<double> y(2);
+    m.multiply(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+    EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+    const Matrix m(2, 3);
+    std::vector<double> x(2), y(2);
+    EXPECT_THROW(m.multiply(x, y), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyTransposedComputesVecMat) {
+    Matrix m(2, 3);
+    for (std::size_t c = 0; c < 3; ++c) {
+        m.at(0, c) = static_cast<double>(c + 1);
+        m.at(1, c) = static_cast<double>(c + 4);
+    }
+    // [1 2] * [1 2 3; 4 5 6] = [9 12 15]
+    const std::vector<double> x{1.0, 2.0};
+    std::vector<double> y(3);
+    m.multiply_transposed(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 9.0);
+    EXPECT_DOUBLE_EQ(y[1], 12.0);
+    EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(Matrix, AddScaledAccumulates) {
+    Matrix a(2, 2, 1.0);
+    const Matrix b(2, 2, 3.0);
+    a.add_scaled(b, 0.5);
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(a.at(1, 1), 2.5);
+}
+
+TEST(Matrix, AddScaledShapeMismatchThrows) {
+    Matrix a(2, 2);
+    const Matrix b(2, 3);
+    EXPECT_THROW(a.add_scaled(b, 1.0), InvalidArgument);
+}
+
+TEST(Matrix, RandomizeStaysInRangeAndIsDeterministic) {
+    Matrix a(4, 4), b(4, 4);
+    Rng r1(5), r2(5);
+    a.randomize(r1, 0.3);
+    b.randomize(r2, 0.3);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_GE(a.at(r, c), -0.3);
+            EXPECT_LE(a.at(r, c), 0.3);
+            EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c));
+        }
+    }
+}
+
+TEST(Matrix, FillOverwrites) {
+    Matrix m(2, 2, 5.0);
+    m.fill(0.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace adiv

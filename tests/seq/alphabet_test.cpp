@@ -1,0 +1,69 @@
+#include "seq/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(Alphabet, NamelessGeneratesDefaultNames) {
+    const Alphabet a(3);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.name(0), "s0");
+    EXPECT_EQ(a.name(2), "s2");
+    EXPECT_EQ(a.id("s1"), 1u);
+}
+
+TEST(Alphabet, NamedAssignsIdsInOrder) {
+    const Alphabet a({"open", "read", "close"});
+    EXPECT_EQ(a.id("open"), 0u);
+    EXPECT_EQ(a.id("read"), 1u);
+    EXPECT_EQ(a.id("close"), 2u);
+    EXPECT_EQ(a.name(1), "read");
+}
+
+TEST(Alphabet, ZeroSizeThrows) { EXPECT_THROW(Alphabet(0), InvalidArgument); }
+
+TEST(Alphabet, EmptyNameListThrows) {
+    EXPECT_THROW(Alphabet(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(Alphabet, DuplicateNamesThrow) {
+    EXPECT_THROW(Alphabet({"a", "b", "a"}), InvalidArgument);
+}
+
+TEST(Alphabet, EmptyNameThrows) {
+    EXPECT_THROW(Alphabet({"a", ""}), InvalidArgument);
+}
+
+TEST(Alphabet, UnknownNameThrows) {
+    const Alphabet a(2);
+    EXPECT_THROW((void)a.id("nope"), InvalidArgument);
+}
+
+TEST(Alphabet, OutOfRangeIdThrows) {
+    const Alphabet a(2);
+    EXPECT_THROW((void)a.name(2), InvalidArgument);
+}
+
+TEST(Alphabet, ValidChecksRange) {
+    const Alphabet a(4);
+    EXPECT_TRUE(a.valid(Symbol{3}));
+    EXPECT_FALSE(a.valid(Symbol{4}));
+}
+
+TEST(Alphabet, ValidChecksSequences) {
+    const Alphabet a(4);
+    EXPECT_TRUE(a.valid(Sequence{0, 1, 2, 3}));
+    EXPECT_FALSE(a.valid(Sequence{0, 9}));
+}
+
+TEST(Alphabet, FormatJoinsNames) {
+    const Alphabet a({"cd", "ls", "cat"});
+    EXPECT_EQ(a.format(Sequence{0, 2, 1}), "cd cat ls");
+    EXPECT_EQ(a.format(Sequence{}), "");
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,101 @@
+#include "seq/conditional_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+// Stream: 0 1 0 1 0 2 — context {0} is followed by 1 twice and 2 once.
+EventStream mixed() { return EventStream(3, {0, 1, 0, 1, 0, 2}); }
+
+TEST(ConditionalModel, EstimatesConditionalProbabilities) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_NEAR(m.probability(Sequence{0}, 1), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(m.probability(Sequence{0}, 2), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.probability(Sequence{1}, 0), 1.0);
+}
+
+TEST(ConditionalModel, UnseenContinuationIsZero) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_DOUBLE_EQ(m.probability(Sequence{0}, 0), 0.0);
+}
+
+TEST(ConditionalModel, UnseenContextIsZero) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_DOUBLE_EQ(m.probability(Sequence{2}, 0), 0.0);
+    EXPECT_FALSE(m.context_known(Sequence{2}));
+}
+
+TEST(ConditionalModel, CountsMatchStream) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_EQ(m.context_count(Sequence{0}), 3u);
+    EXPECT_EQ(m.continuation_count(Sequence{0}, 1), 2u);
+    EXPECT_EQ(m.continuation_count(Sequence{0}, 2), 1u);
+}
+
+TEST(ConditionalModel, LongerContext) {
+    const ConditionalModel m(EventStream(3, {0, 1, 2, 0, 1, 2, 0, 1, 0}), 2);
+    EXPECT_DOUBLE_EQ(m.probability(Sequence{1, 2}, 0), 1.0);
+    EXPECT_NEAR(m.probability(Sequence{0, 1}, 2), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(m.probability(Sequence{0, 1}, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ConditionalModel, ContextLengthMismatchThrows) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_THROW((void)m.probability(Sequence{0, 1}, 0), InvalidArgument);
+}
+
+TEST(ConditionalModel, ZeroContextLengthThrows) {
+    EXPECT_THROW(ConditionalModel(mixed(), 0), InvalidArgument);
+}
+
+TEST(ConditionalModel, TooShortStreamThrows) {
+    EXPECT_THROW(ConditionalModel(EventStream(3, {0}), 1), DataError);
+}
+
+TEST(ConditionalModel, SmoothedProbabilityWithAlpha) {
+    const ConditionalModel m(mixed(), 1);
+    // count(0->0)=0, count(0)=3, alphabet 3, alpha 1: (0+1)/(3+3) = 1/6.
+    EXPECT_NEAR(m.probability_smoothed(Sequence{0}, 0, 1.0), 1.0 / 6.0, 1e-12);
+    // Unseen context with alpha: uniform 1/alphabet.
+    EXPECT_NEAR(m.probability_smoothed(Sequence{2}, 0, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ConditionalModel, SmoothedWithZeroAlphaMatchesRaw) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_DOUBLE_EQ(m.probability_smoothed(Sequence{0}, 1, 0.0),
+                     m.probability(Sequence{0}, 1));
+}
+
+TEST(ConditionalModel, NegativeAlphaThrows) {
+    const ConditionalModel m(mixed(), 1);
+    EXPECT_THROW((void)m.probability_smoothed(Sequence{0}, 1, -0.5), InvalidArgument);
+}
+
+TEST(ConditionalModel, DistributionsAreSortedAndComplete) {
+    const ConditionalModel m(mixed(), 1);
+    const auto dists = m.distributions();
+    ASSERT_EQ(dists.size(), m.distinct_contexts());
+    ASSERT_EQ(dists.size(), 2u);  // contexts {0} and {1}
+    // Sorted by descending total: context {0} occurs 3 times, {1} twice.
+    EXPECT_EQ(dists[0].context, (Sequence{0}));
+    EXPECT_EQ(dists[0].total, 3u);
+    EXPECT_EQ(dists[1].context, (Sequence{1}));
+    EXPECT_EQ(dists[1].total, 2u);
+    EXPECT_EQ(dists[0].next_counts[1], 2u);
+    EXPECT_EQ(dists[0].next_counts[2], 1u);
+}
+
+TEST(ConditionalModel, DistributionTotalsSumNextCounts) {
+    const ConditionalModel m(EventStream(4, {0, 1, 2, 3, 0, 1, 2, 3, 0}), 2);
+    for (const auto& d : m.distributions()) {
+        std::uint64_t sum = 0;
+        for (auto c : d.next_counts) sum += c;
+        EXPECT_EQ(sum, d.total);
+    }
+}
+
+}  // namespace
+}  // namespace adiv

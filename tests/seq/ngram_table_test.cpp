@@ -1,0 +1,107 @@
+#include "seq/ngram_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+EventStream abab() { return EventStream(2, {0, 1, 0, 1, 0, 1, 0}); }
+
+TEST(NgramTable, CountsSlidingWindows) {
+    const NgramTable t = NgramTable::from_stream(abab(), 2);
+    EXPECT_EQ(t.total(), 6u);
+    EXPECT_EQ(t.count(Sequence{0, 1}), 3u);
+    EXPECT_EQ(t.count(Sequence{1, 0}), 3u);
+    EXPECT_EQ(t.count(Sequence{0, 0}), 0u);
+    EXPECT_EQ(t.distinct(), 2u);
+}
+
+TEST(NgramTable, ContainsMatchesCount) {
+    const NgramTable t = NgramTable::from_stream(abab(), 2);
+    EXPECT_TRUE(t.contains(Sequence{0, 1}));
+    EXPECT_FALSE(t.contains(Sequence{1, 1}));
+}
+
+TEST(NgramTable, RelativeFrequency) {
+    const NgramTable t = NgramTable::from_stream(abab(), 2);
+    EXPECT_DOUBLE_EQ(t.relative_frequency(Sequence{0, 1}), 0.5);
+    EXPECT_DOUBLE_EQ(t.relative_frequency(Sequence{1, 1}), 0.0);
+}
+
+TEST(NgramTable, StreamShorterThanWindowAddsNothing) {
+    NgramTable t(4, 5);
+    t.add_stream(EventStream(4, {0, 1, 2}));
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.distinct(), 0u);
+}
+
+TEST(NgramTable, AddSingleGramWithMultiplicity) {
+    NgramTable t(4, 3);
+    t.add(Sequence{1, 2, 3}, 5);
+    EXPECT_EQ(t.count(Sequence{1, 2, 3}), 5u);
+    EXPECT_EQ(t.total(), 5u);
+}
+
+TEST(NgramTable, AddWrongLengthThrows) {
+    NgramTable t(4, 3);
+    EXPECT_THROW(t.add(Sequence{1, 2}), InvalidArgument);
+    EXPECT_THROW((void)t.count(Sequence{1}), InvalidArgument);
+}
+
+TEST(NgramTable, MismatchedAlphabetThrows) {
+    NgramTable t(4, 2);
+    EXPECT_THROW(t.add_stream(EventStream(8, {0, 1, 2})), InvalidArgument);
+}
+
+TEST(NgramTable, ZeroLengthThrows) { EXPECT_THROW(NgramTable(4, 0), InvalidArgument); }
+
+TEST(NgramTable, LengthBeyondCodecCapacityThrows) {
+    EXPECT_THROW(NgramTable(8, 43), InvalidArgument);
+}
+
+TEST(NgramTable, ForEachVisitsEveryDistinctGram) {
+    const NgramTable t = NgramTable::from_stream(abab(), 2);
+    std::size_t visits = 0;
+    std::uint64_t total = 0;
+    t.for_each([&](NgramKey, std::uint64_t count) {
+        ++visits;
+        total += count;
+    });
+    EXPECT_EQ(visits, t.distinct());
+    EXPECT_EQ(total, t.total());
+}
+
+TEST(NgramTable, ItemsByCountIsSortedDescending) {
+    NgramTable t(4, 2);
+    t.add(Sequence{0, 1}, 5);
+    t.add(Sequence{1, 2}, 9);
+    t.add(Sequence{2, 3}, 1);
+    const auto items = t.items_by_count();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].second, 9u);
+    EXPECT_EQ(items[0].first, (Sequence{1, 2}));
+    EXPECT_EQ(items[2].second, 1u);
+}
+
+TEST(NgramTable, ItemsByCountBreaksTiesByKey) {
+    NgramTable t(4, 2);
+    t.add(Sequence{3, 3}, 2);
+    t.add(Sequence{0, 1}, 2);
+    const auto items = t.items_by_count();
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0].first, (Sequence{0, 1}));  // smaller key first
+}
+
+TEST(NgramTable, AccumulatesAcrossMultipleStreams) {
+    NgramTable t(2, 2);
+    t.add_stream(EventStream(2, {0, 1, 0}));
+    t.add_stream(EventStream(2, {1, 0, 1}));
+    EXPECT_EQ(t.total(), 4u);
+    EXPECT_EQ(t.count(Sequence{0, 1}), 2u);
+    EXPECT_EQ(t.count(Sequence{1, 0}), 2u);
+}
+
+}  // namespace
+}  // namespace adiv

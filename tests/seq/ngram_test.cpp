@@ -1,0 +1,99 @@
+#include "seq/ngram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(NgramCodec, BitsPerSymbolCoversAlphabet) {
+    EXPECT_EQ(NgramCodec(2).bits_per_symbol(), 1u);
+    EXPECT_EQ(NgramCodec(8).bits_per_symbol(), 3u);
+    EXPECT_EQ(NgramCodec(9).bits_per_symbol(), 4u);
+    EXPECT_EQ(NgramCodec(256).bits_per_symbol(), 8u);
+}
+
+TEST(NgramCodec, SingleSymbolAlphabetUsesOneBit) {
+    EXPECT_EQ(NgramCodec(1).bits_per_symbol(), 1u);
+}
+
+TEST(NgramCodec, ZeroAlphabetThrows) { EXPECT_THROW(NgramCodec(0), InvalidArgument); }
+
+TEST(NgramCodec, MaxLengthForPaperAlphabet) {
+    // Alphabet 8 -> 3 bits -> 42 symbols per 128-bit key.
+    EXPECT_EQ(NgramCodec(8).max_length(), 42u);
+}
+
+TEST(NgramCodec, EncodeDecodeRoundTrip) {
+    const NgramCodec codec(8);
+    const Sequence gram{7, 0, 3, 5, 1};
+    EXPECT_EQ(codec.decode(codec.encode(gram), gram.size()), gram);
+}
+
+TEST(NgramCodec, RoundTripRandomSequences) {
+    const NgramCodec codec(20);
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t len = 1 + rng.below(15);
+        Sequence gram(len);
+        for (auto& s : gram) s = static_cast<Symbol>(rng.below(20));
+        EXPECT_EQ(codec.decode(codec.encode(gram), len), gram);
+    }
+}
+
+TEST(NgramCodec, EncodeIsInjectivePerLength) {
+    const NgramCodec codec(4);
+    std::unordered_set<std::size_t> seen;
+    NgramKeyHash hash;
+    // All 4^4 = 256 windows of length 4 map to distinct keys.
+    int distinct = 0;
+    std::unordered_set<std::uint64_t> keys;
+    for (Symbol a = 0; a < 4; ++a)
+        for (Symbol b = 0; b < 4; ++b)
+            for (Symbol c = 0; c < 4; ++c)
+                for (Symbol d = 0; d < 4; ++d) {
+                    const NgramKey key = codec.encode(Sequence{a, b, c, d});
+                    if (keys.insert(static_cast<std::uint64_t>(key)).second) ++distinct;
+                    (void)hash(key);
+                    (void)seen;
+                }
+    EXPECT_EQ(distinct, 256);
+}
+
+TEST(NgramCodec, SlideMatchesFullEncode) {
+    const NgramCodec codec(8);
+    const Sequence data{1, 2, 3, 4, 5, 6, 7, 0, 1, 2};
+    const std::size_t n = 4;
+    const NgramKey mask = codec.mask_for(n);
+    NgramKey key = codec.encode(SymbolView(data).subspan(0, n));
+    for (std::size_t pos = n; pos < data.size(); ++pos) {
+        key = codec.slide(key, data[pos], mask);
+        const NgramKey expected = codec.encode(SymbolView(data).subspan(pos - n + 1, n));
+        EXPECT_TRUE(key == expected) << "slide mismatch at pos " << pos;
+    }
+}
+
+TEST(NgramCodec, MaskForFullWidthDoesNotOverflow) {
+    const NgramCodec codec(256);            // 8 bits/symbol
+    const NgramKey mask = codec.mask_for(16);  // exactly 128 bits
+    EXPECT_TRUE(mask == ~NgramKey{0});
+}
+
+TEST(NgramCodec, DecodeBeyondCapacityThrows) {
+    const NgramCodec codec(8);
+    EXPECT_THROW((void)codec.decode(NgramKey{0}, 43), InvalidArgument);
+}
+
+TEST(NgramKeyHash, DistinguishesHighBits) {
+    NgramKeyHash hash;
+    const NgramKey a = NgramKey{1} << 100;
+    const NgramKey b = NgramKey{2} << 100;
+    EXPECT_NE(hash(a), hash(b));
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,113 @@
+#include "seq/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+// 100 repetitions of 0 1 2 3 followed by one rare pair (0, 2).
+EventStream mostly_cycle() {
+    Sequence events;
+    for (int i = 0; i < 100; ++i)
+        for (Symbol s = 0; s < 4; ++s) events.push_back(s);
+    events.push_back(0);
+    events.push_back(2);
+    return EventStream(4, std::move(events));
+}
+
+TEST(RareGrams, FindsOnlyBelowThreshold) {
+    const EventStream s = mostly_cycle();
+    const NgramTable t = NgramTable::from_stream(s, 2);
+    const auto rare = rare_grams(t, 0.005);
+    // (0,2) occurs once among 401 pairs; the cycle pairs are ~25% each.
+    ASSERT_EQ(rare.size(), 1u);
+    EXPECT_EQ(rare[0].gram, (Sequence{0, 2}));
+    EXPECT_EQ(rare[0].count, 1u);
+    EXPECT_LT(rare[0].relative_frequency, 0.005);
+}
+
+TEST(RareGrams, SortedAscendingByCount) {
+    NgramTable t(4, 2);
+    t.add(Sequence{0, 0}, 1);
+    t.add(Sequence{1, 1}, 2);
+    t.add(Sequence{2, 2}, 100'000);
+    const auto rare = rare_grams(t, 0.005);
+    ASSERT_EQ(rare.size(), 2u);
+    EXPECT_EQ(rare[0].count, 1u);
+    EXPECT_EQ(rare[1].count, 2u);
+}
+
+TEST(RareGrams, InvalidThresholdThrows) {
+    NgramTable t(4, 2);
+    EXPECT_THROW((void)rare_grams(t, 0.0), InvalidArgument);
+    EXPECT_THROW((void)rare_grams(t, 1.0), InvalidArgument);
+}
+
+TEST(Census, CountsDistinctRareAndCommon) {
+    const LengthCensus c = census(mostly_cycle(), 2);
+    EXPECT_EQ(c.length, 2u);
+    EXPECT_EQ(c.windows, 401u);
+    EXPECT_EQ(c.distinct, 5u);  // 4 cycle pairs + (0,2)
+    EXPECT_EQ(c.rare, 1u);
+    EXPECT_EQ(c.common, 4u);
+    EXPECT_NEAR(c.rare_mass, 1.0 / 401.0, 1e-12);
+}
+
+TEST(Census, PureCycleHasNoRareGrams) {
+    Sequence events;
+    for (int i = 0; i < 50; ++i)
+        for (Symbol s = 0; s < 4; ++s) events.push_back(s);
+    const LengthCensus c = census(EventStream(4, std::move(events)), 3);
+    EXPECT_EQ(c.rare, 0u);
+    EXPECT_EQ(c.distinct, 4u);
+    EXPECT_DOUBLE_EQ(c.rare_mass, 0.0);
+}
+
+TEST(CycleCoverage, PureCycleIsFullyCovered) {
+    Sequence events;
+    for (int i = 0; i < 25; ++i)
+        for (Symbol s = 0; s < 4; ++s) events.push_back(s);
+    const EventStream s(4, std::move(events));
+    EXPECT_DOUBLE_EQ(cycle_coverage(s, Sequence{0, 1, 2, 3}), 1.0);
+}
+
+TEST(CycleCoverage, CountsAllRotations) {
+    // A cycle stream starting mid-phase is still fully covered.
+    const EventStream s(4, {2, 3, 0, 1, 2, 3, 0, 1, 2, 3});
+    EXPECT_DOUBLE_EQ(cycle_coverage(s, Sequence{0, 1, 2, 3}), 1.0);
+}
+
+TEST(CycleCoverage, DeviationReducesCoverage) {
+    const EventStream s = mostly_cycle();
+    const double cov = cycle_coverage(s, Sequence{0, 1, 2, 3});
+    EXPECT_LT(cov, 1.0);
+    EXPECT_GT(cov, 0.95);
+}
+
+TEST(CycleCoverage, EmptyCycleThrows) {
+    const EventStream s(4, {0, 1});
+    EXPECT_THROW((void)cycle_coverage(s, Sequence{}), InvalidArgument);
+}
+
+TEST(DeterministicContinuationRate, PureCycleIsOne) {
+    const EventStream s(4, {0, 1, 2, 3, 0, 1, 2, 3, 0});
+    EXPECT_DOUBLE_EQ(deterministic_continuation_rate(s, Sequence{0, 1, 2, 3}), 1.0);
+}
+
+TEST(DeterministicContinuationRate, CountsDeviations) {
+    // 8 transitions, one of which (0->2) deviates from the cycle.
+    const EventStream s(4, {0, 1, 2, 3, 0, 2, 3, 0, 1});
+    EXPECT_NEAR(deterministic_continuation_rate(s, Sequence{0, 1, 2, 3}), 7.0 / 8.0,
+                1e-12);
+}
+
+TEST(DeterministicContinuationRate, DuplicateCycleSymbolThrows) {
+    const EventStream s(4, {0, 1});
+    EXPECT_THROW((void)deterministic_continuation_rate(s, Sequence{0, 0}),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

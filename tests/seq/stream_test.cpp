@@ -1,0 +1,100 @@
+#include "seq/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(EventStream, ConstructsFromValidEvents) {
+    const EventStream s(4, {0, 1, 2, 3, 0});
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.alphabet_size(), 4u);
+    EXPECT_EQ(s[3], 3u);
+}
+
+TEST(EventStream, RejectsSymbolOutsideAlphabet) {
+    EXPECT_THROW(EventStream(3, {0, 3}), DataError);
+}
+
+TEST(EventStream, RejectsZeroAlphabet) {
+    EXPECT_THROW(EventStream(0, {}), InvalidArgument);
+}
+
+TEST(EventStream, DefaultIsEmptyTrivialAlphabet) {
+    const EventStream s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.alphabet_size(), 1u);
+}
+
+TEST(EventStream, WindowViewsCorrectSlice) {
+    const EventStream s(5, {0, 1, 2, 3, 4});
+    const SymbolView w = s.window(1, 3);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], 1u);
+    EXPECT_EQ(w[2], 3u);
+}
+
+TEST(EventStream, WindowOutOfBoundsThrows) {
+    const EventStream s(5, {0, 1, 2});
+    EXPECT_THROW((void)s.window(1, 3), InvalidArgument);
+}
+
+TEST(EventStream, WindowCountFormula) {
+    const EventStream s(4, {0, 1, 2, 3, 0, 1});
+    EXPECT_EQ(s.window_count(1), 6u);
+    EXPECT_EQ(s.window_count(4), 3u);
+    EXPECT_EQ(s.window_count(6), 1u);
+    EXPECT_EQ(s.window_count(7), 0u);
+    EXPECT_EQ(s.window_count(0), 0u);
+}
+
+TEST(EventStream, PushBackValidates) {
+    EventStream s(3);
+    s.push_back(2);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_THROW(s.push_back(3), DataError);
+}
+
+TEST(EventStream, AppendValidates) {
+    EventStream s(3, {0});
+    s.append(Sequence{1, 2});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_THROW(s.append(Sequence{5}), DataError);
+}
+
+TEST(EventStream, SliceCopiesSubrange) {
+    const EventStream s(5, {0, 1, 2, 3, 4});
+    const EventStream sub = s.slice(1, 3);
+    EXPECT_EQ(sub.size(), 3u);
+    EXPECT_EQ(sub[0], 1u);
+    EXPECT_EQ(sub.alphabet_size(), 5u);
+}
+
+TEST(EventStream, SliceOutOfBoundsThrows) {
+    const EventStream s(5, {0, 1});
+    EXPECT_THROW((void)s.slice(1, 2), InvalidArgument);
+}
+
+TEST(ForEachWindow, VisitsAllPositions) {
+    const EventStream s(4, {0, 1, 2, 3, 0});
+    std::vector<std::size_t> positions;
+    std::vector<Symbol> firsts;
+    for_each_window(s, 3, [&](std::size_t pos, SymbolView w) {
+        positions.push_back(pos);
+        firsts.push_back(w[0]);
+    });
+    EXPECT_EQ(positions, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(firsts, (std::vector<Symbol>{0, 1, 2}));
+}
+
+TEST(ForEachWindow, NoWindowsWhenTooShort) {
+    const EventStream s(4, {0, 1});
+    int calls = 0;
+    for_each_window(s, 3, [&](std::size_t, SymbolView) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,63 @@
+#include "seq/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adiv {
+namespace {
+
+TEST(SameSequence, EqualSequencesMatch) {
+    const Sequence a{1, 2, 3};
+    const Sequence b{1, 2, 3};
+    EXPECT_TRUE(same_sequence(a, b));
+}
+
+TEST(SameSequence, DifferentContentsDoNotMatch) {
+    const Sequence a{1, 2, 3};
+    const Sequence b{1, 2, 4};
+    EXPECT_FALSE(same_sequence(a, b));
+}
+
+TEST(SameSequence, DifferentLengthsDoNotMatch) {
+    const Sequence a{1, 2};
+    const Sequence b{1, 2, 3};
+    EXPECT_FALSE(same_sequence(a, b));
+}
+
+TEST(SameSequence, EmptySequencesMatch) {
+    EXPECT_TRUE(same_sequence(Sequence{}, Sequence{}));
+}
+
+TEST(ContainsSubsequence, FindsMiddleRun) {
+    const Sequence hay{0, 1, 2, 3, 4, 5};
+    const Sequence needle{2, 3, 4};
+    EXPECT_TRUE(contains_subsequence(hay, needle));
+}
+
+TEST(ContainsSubsequence, FindsPrefixAndSuffix) {
+    const Sequence hay{7, 8, 9};
+    EXPECT_TRUE(contains_subsequence(hay, Sequence{7, 8}));
+    EXPECT_TRUE(contains_subsequence(hay, Sequence{8, 9}));
+}
+
+TEST(ContainsSubsequence, RejectsNonContiguousMatch) {
+    const Sequence hay{1, 9, 2, 9, 3};
+    const Sequence needle{1, 2, 3};  // present only non-contiguously
+    EXPECT_FALSE(contains_subsequence(hay, needle));
+}
+
+TEST(ContainsSubsequence, EmptyNeedleAlwaysContained) {
+    EXPECT_TRUE(contains_subsequence(Sequence{1, 2}, Sequence{}));
+    EXPECT_TRUE(contains_subsequence(Sequence{}, Sequence{}));
+}
+
+TEST(ContainsSubsequence, NeedleLongerThanHaystack) {
+    EXPECT_FALSE(contains_subsequence(Sequence{1}, Sequence{1, 2}));
+}
+
+TEST(ContainsSubsequence, WholeHaystackMatches) {
+    const Sequence hay{4, 5, 6};
+    EXPECT_TRUE(contains_subsequence(hay, hay));
+}
+
+}  // namespace
+}  // namespace adiv

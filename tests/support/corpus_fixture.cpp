@@ -1,0 +1,33 @@
+#include "support/corpus_fixture.hpp"
+
+namespace adiv::test {
+
+const TrainingCorpus& small_corpus() {
+    static const TrainingCorpus corpus = [] {
+        CorpusSpec spec;
+        spec.training_length = 200'000;
+        return TrainingCorpus::generate(spec);
+    }();
+    return corpus;
+}
+
+const EvaluationSuite& small_suite() {
+    static const EvaluationSuite suite = [] {
+        SuiteConfig cfg;
+        cfg.min_anomaly_size = 2;
+        cfg.max_anomaly_size = 9;
+        cfg.min_window = 2;
+        cfg.max_window = 10;
+        cfg.background_length = 1024;
+        return EvaluationSuite::build(small_corpus(), cfg);
+    }();
+    return suite;
+}
+
+const TrainingCorpus& paper_corpus() {
+    static const TrainingCorpus corpus =
+        TrainingCorpus::generate(CorpusSpec{});
+    return corpus;
+}
+
+}  // namespace adiv::test

@@ -1,0 +1,114 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+CliParser make_parser() {
+    CliParser cli("prog", "test program");
+    cli.add_option("count", "5", "how many");
+    cli.add_option("name", "default", "a name");
+    cli.add_option("ratio", "0.5", "a ratio");
+    cli.add_flag("verbose", "talk more");
+    return cli;
+}
+
+TEST(CliParser, DefaultsApplyWhenAbsent) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get("name"), "default");
+    EXPECT_EQ(cli.get_int("count"), 5);
+    EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.5);
+    EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(CliParser, ParsesSpaceSeparatedValue) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--count", "42"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(CliParser, ParsesEqualsSeparatedValue) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--name=alice"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_EQ(cli.get("name"), "alice");
+}
+
+TEST(CliParser, ParsesFlag) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--verbose"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(CliParser, CollectsPositionals) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "one", "--count", "3", "two"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    ASSERT_EQ(cli.positionals().size(), 2u);
+    EXPECT_EQ(cli.positionals()[0], "one");
+    EXPECT_EQ(cli.positionals()[1], "two");
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--bogus", "1"};
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--count"};
+    EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--verbose=yes"};
+    EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+}
+
+TEST(CliParser, NonNumericIntThrows) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--count", "abc"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW((void)cli.get_int("count"), InvalidArgument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, HelpTextMentionsOptions) {
+    CliParser cli = make_parser();
+    const std::string help = cli.help_text();
+    EXPECT_NE(help.find("--count"), std::string::npos);
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+    EXPECT_NE(help.find("test program"), std::string::npos);
+}
+
+TEST(CliParser, GetOnFlagThrows) {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_THROW((void)cli.get("verbose"), InvalidArgument);
+    EXPECT_THROW((void)cli.get_flag("count"), InvalidArgument);
+}
+
+TEST(CliParser, DuplicateRegistrationThrows) {
+    CliParser cli("p", "s");
+    cli.add_option("x", "1", "h");
+    EXPECT_THROW(cli.add_option("x", "2", "h"), InvalidArgument);
+    EXPECT_THROW(cli.add_flag("x", "h"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adiv {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+    EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, EmptyFieldUnchanged) { EXPECT_EQ(csv_escape(""), ""); }
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteIsDoubledAndQuoted) {
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+    EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesCommaSeparatedRow) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesFieldsInRow) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"x,y", "plain"});
+    EXPECT_EQ(out.str(), "\"x,y\",plain\n");
+}
+
+TEST(CsvWriter, RowOfStreamsHeterogeneousValues) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row_of("name", 42, 2.5);
+    EXPECT_EQ(out.str(), "name,42,2.5\n");
+}
+
+TEST(CsvWriter, MultipleRowsOnSeparateLines) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"h1", "h2"});
+    csv.row({"1", "2"});
+    EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+TEST(CsvWriter, EmptyRowProducesEmptyLine) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({});
+    EXPECT_EQ(out.str(), "\n");
+}
+
+}  // namespace
+}  // namespace adiv

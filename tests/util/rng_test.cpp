@@ -1,0 +1,186 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace adiv {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSeed) {
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+    Rng rng(11);
+    for (int i = 0; i < 10'000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+    Rng rng(5);
+    std::array<int, 8> buckets{};
+    const int draws = 80'000;
+    for (int i = 0; i < draws; ++i) ++buckets[rng.below(8)];
+    for (int count : buckets) {
+        EXPECT_GT(count, draws / 8 * 0.9);
+        EXPECT_LT(count, draws / 8 * 1.1);
+    }
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+    Rng rng(17);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+    Rng rng(23);
+    for (int i = 0; i < 10'000; ++i) {
+        const double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.5, 3.5);
+        EXPECT_GE(v, 2.5);
+        EXPECT_LT(v, 3.5);
+    }
+}
+
+TEST(Rng, ChanceZeroNeverFires) {
+    Rng rng(31);
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(rng.chance(0.0));
+}
+
+TEST(Rng, ChanceOneAlwaysFires) {
+    Rng rng(37);
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+    Rng rng(41);
+    int hits = 0;
+    const int draws = 100'000;
+    for (int i = 0; i < draws; ++i) hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.25, 0.01);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+    Rng rng(43);
+    double sum = 0.0, sum2 = 0.0;
+    const int draws = 100'000;
+    for (int i = 0; i < draws; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum2 += v * v;
+    }
+    EXPECT_NEAR(sum / draws, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / draws, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+    Rng rng(47);
+    double sum = 0.0;
+    const int draws = 50'000;
+    for (int i = 0; i < draws; ++i) sum += rng.normal(10.0, 0.5);
+    EXPECT_NEAR(sum / draws, 10.0, 0.05);
+}
+
+TEST(Rng, WeightedPickHonoursWeights) {
+    Rng rng(53);
+    const std::vector<double> weights{1.0, 0.0, 3.0};
+    std::array<int, 3> buckets{};
+    const int draws = 40'000;
+    for (int i = 0; i < draws; ++i) ++buckets[rng.weighted_pick(weights)];
+    EXPECT_EQ(buckets[1], 0);
+    EXPECT_NEAR(static_cast<double>(buckets[0]) / draws, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(buckets[2]) / draws, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedPickIgnoresNegativeWeights) {
+    Rng rng(59);
+    const std::vector<double> weights{-5.0, 2.0};
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.weighted_pick(weights), 1u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+    Rng rng(61);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+    auto shuffled = items;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleIsDeterministicPerSeed) {
+    std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+    auto b = a;
+    Rng r1(67), r2(67);
+    r1.shuffle(a);
+    r2.shuffle(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, PickReturnsMemberOfVector) {
+    Rng rng(71);
+    const std::vector<int> items{10, 20, 30};
+    for (int i = 0; i < 100; ++i) {
+        const int v = rng.pick(items);
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng parent(73);
+    Rng child = parent.fork();
+    // The child must not replay the parent's stream.
+    Rng parent_again(73);
+    parent_again.next();  // consume the draw used to seed the child
+    EXPECT_NE(child.next(), parent_again.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adiv {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable t;
+    t.header({"name", "value"});
+    t.add("a", 1);
+    t.add("longer", 22);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("a       1"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRuleMatchesWidth) {
+    TextTable t;
+    t.header({"ab", "cd"});
+    t.add("1", "2");
+    const std::string out = t.render();
+    // "ab  cd" is 6 chars wide -> a 6-dash rule.
+    EXPECT_NE(out.find("------\n"), std::string::npos);
+}
+
+TEST(TextTable, WorksWithoutHeader) {
+    TextTable t;
+    t.add("x", "y");
+    const std::string out = t.render();
+    EXPECT_EQ(out.find('-'), std::string::npos);
+    EXPECT_NE(out.find("x  y"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.add_row({"only"});
+    EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(TextTable, CountsRows) {
+    TextTable t;
+    EXPECT_EQ(t.row_count(), 0u);
+    t.add("r");
+    t.add("s");
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Fixed, FormatsWithRequestedPlaces) {
+    EXPECT_EQ(fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(fixed(2.0, 3), "2.000");
+    EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Percent, FormatsRatioAsPercentage) {
+    EXPECT_EQ(percent(0.5), "50.0%");
+    EXPECT_EQ(percent(0.1234, 2), "12.34%");
+    EXPECT_EQ(percent(0.0, 0), "0%");
+}
+
+}  // namespace
+}  // namespace adiv
