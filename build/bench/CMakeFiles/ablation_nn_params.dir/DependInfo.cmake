@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_nn_params.cpp" "bench/CMakeFiles/ablation_nn_params.dir/ablation_nn_params.cpp.o" "gcc" "bench/CMakeFiles/ablation_nn_params.dir/ablation_nn_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/adiv_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/adiv_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adiv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/adiv_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/adiv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

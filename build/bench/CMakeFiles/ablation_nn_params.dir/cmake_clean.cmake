@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nn_params.dir/ablation_nn_params.cpp.o"
+  "CMakeFiles/ablation_nn_params.dir/ablation_nn_params.cpp.o.d"
+  "ablation_nn_params"
+  "ablation_nn_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nn_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_response_policy.dir/ablation_response_policy.cpp.o"
+  "CMakeFiles/ablation_response_policy.dir/ablation_response_policy.cpp.o.d"
+  "ablation_response_policy"
+  "ablation_response_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_response_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

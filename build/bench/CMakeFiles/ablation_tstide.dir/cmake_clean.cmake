@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tstide.dir/ablation_tstide.cpp.o"
+  "CMakeFiles/ablation_tstide.dir/ablation_tstide.cpp.o.d"
+  "ablation_tstide"
+  "ablation_tstide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tstide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

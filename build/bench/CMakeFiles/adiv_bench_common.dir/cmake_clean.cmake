@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_bench_common.dir/common.cpp.o"
+  "CMakeFiles/adiv_bench_common.dir/common.cpp.o.d"
+  "libadiv_bench_common.a"
+  "libadiv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadiv_bench_common.a"
+)

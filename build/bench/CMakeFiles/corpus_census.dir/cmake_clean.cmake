@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_census.dir/corpus_census.cpp.o"
+  "CMakeFiles/corpus_census.dir/corpus_census.cpp.o.d"
+  "corpus_census"
+  "corpus_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

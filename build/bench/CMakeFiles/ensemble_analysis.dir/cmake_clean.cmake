@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_analysis.dir/ensemble_analysis.cpp.o"
+  "CMakeFiles/ensemble_analysis.dir/ensemble_analysis.cpp.o.d"
+  "ensemble_analysis"
+  "ensemble_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_detector_maps.dir/ext_detector_maps.cpp.o"
+  "CMakeFiles/ext_detector_maps.dir/ext_detector_maps.cpp.o.d"
+  "ext_detector_maps"
+  "ext_detector_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_detector_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

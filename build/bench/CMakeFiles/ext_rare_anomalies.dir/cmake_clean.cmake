@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rare_anomalies.dir/ext_rare_anomalies.cpp.o"
+  "CMakeFiles/ext_rare_anomalies.dir/ext_rare_anomalies.cpp.o.d"
+  "ext_rare_anomalies"
+  "ext_rare_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rare_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_rare_anomalies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lb_map.dir/fig_map_main.cpp.o"
+  "CMakeFiles/fig3_lb_map.dir/fig_map_main.cpp.o.d"
+  "fig3_lb_map"
+  "fig3_lb_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lb_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

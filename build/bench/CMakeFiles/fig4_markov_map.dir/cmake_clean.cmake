@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_markov_map.dir/fig_map_main.cpp.o"
+  "CMakeFiles/fig4_markov_map.dir/fig_map_main.cpp.o.d"
+  "fig4_markov_map"
+  "fig4_markov_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_markov_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stide_map.dir/fig_map_main.cpp.o"
+  "CMakeFiles/fig5_stide_map.dir/fig_map_main.cpp.o.d"
+  "fig5_stide_map"
+  "fig5_stide_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stide_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nn_map.dir/fig_map_main.cpp.o"
+  "CMakeFiles/fig6_nn_map.dir/fig_map_main.cpp.o.d"
+  "fig6_nn_map"
+  "fig6_nn_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nn_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lb_similarity.dir/fig7_lb_similarity.cpp.o"
+  "CMakeFiles/fig7_lb_similarity.dir/fig7_lb_similarity.cpp.o.d"
+  "fig7_lb_similarity"
+  "fig7_lb_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lb_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

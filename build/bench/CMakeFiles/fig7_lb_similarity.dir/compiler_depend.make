@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_lb_similarity.
+# This may be replaced when dependencies are built.

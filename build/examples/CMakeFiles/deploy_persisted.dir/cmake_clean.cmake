@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_persisted.dir/deploy_persisted.cpp.o"
+  "CMakeFiles/deploy_persisted.dir/deploy_persisted.cpp.o.d"
+  "deploy_persisted"
+  "deploy_persisted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_persisted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_ids.dir/ensemble_ids.cpp.o"
+  "CMakeFiles/ensemble_ids.dir/ensemble_ids.cpp.o.d"
+  "ensemble_ids"
+  "ensemble_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

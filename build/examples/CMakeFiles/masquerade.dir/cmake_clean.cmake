@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masquerade.dir/masquerade.cpp.o"
+  "CMakeFiles/masquerade.dir/masquerade.cpp.o.d"
+  "masquerade"
+  "masquerade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masquerade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

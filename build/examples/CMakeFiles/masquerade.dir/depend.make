@@ -1,0 +1,2 @@
+# Empty dependencies file for masquerade.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimicry.dir/mimicry.cpp.o"
+  "CMakeFiles/mimicry.dir/mimicry.cpp.o.d"
+  "mimicry"
+  "mimicry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimicry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

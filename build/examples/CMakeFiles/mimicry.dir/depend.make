@@ -1,0 +1,2 @@
+# Empty dependencies file for mimicry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/foreign.cpp" "src/anomaly/CMakeFiles/adiv_anomaly.dir/foreign.cpp.o" "gcc" "src/anomaly/CMakeFiles/adiv_anomaly.dir/foreign.cpp.o.d"
+  "/root/repo/src/anomaly/injection.cpp" "src/anomaly/CMakeFiles/adiv_anomaly.dir/injection.cpp.o" "gcc" "src/anomaly/CMakeFiles/adiv_anomaly.dir/injection.cpp.o.d"
+  "/root/repo/src/anomaly/mfs_builder.cpp" "src/anomaly/CMakeFiles/adiv_anomaly.dir/mfs_builder.cpp.o" "gcc" "src/anomaly/CMakeFiles/adiv_anomaly.dir/mfs_builder.cpp.o.d"
+  "/root/repo/src/anomaly/rare_anomaly.cpp" "src/anomaly/CMakeFiles/adiv_anomaly.dir/rare_anomaly.cpp.o" "gcc" "src/anomaly/CMakeFiles/adiv_anomaly.dir/rare_anomaly.cpp.o.d"
+  "/root/repo/src/anomaly/subsequence_oracle.cpp" "src/anomaly/CMakeFiles/adiv_anomaly.dir/subsequence_oracle.cpp.o" "gcc" "src/anomaly/CMakeFiles/adiv_anomaly.dir/subsequence_oracle.cpp.o.d"
+  "/root/repo/src/anomaly/suite.cpp" "src/anomaly/CMakeFiles/adiv_anomaly.dir/suite.cpp.o" "gcc" "src/anomaly/CMakeFiles/adiv_anomaly.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/adiv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

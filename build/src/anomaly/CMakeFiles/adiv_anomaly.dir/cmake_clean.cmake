@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_anomaly.dir/foreign.cpp.o"
+  "CMakeFiles/adiv_anomaly.dir/foreign.cpp.o.d"
+  "CMakeFiles/adiv_anomaly.dir/injection.cpp.o"
+  "CMakeFiles/adiv_anomaly.dir/injection.cpp.o.d"
+  "CMakeFiles/adiv_anomaly.dir/mfs_builder.cpp.o"
+  "CMakeFiles/adiv_anomaly.dir/mfs_builder.cpp.o.d"
+  "CMakeFiles/adiv_anomaly.dir/rare_anomaly.cpp.o"
+  "CMakeFiles/adiv_anomaly.dir/rare_anomaly.cpp.o.d"
+  "CMakeFiles/adiv_anomaly.dir/subsequence_oracle.cpp.o"
+  "CMakeFiles/adiv_anomaly.dir/subsequence_oracle.cpp.o.d"
+  "CMakeFiles/adiv_anomaly.dir/suite.cpp.o"
+  "CMakeFiles/adiv_anomaly.dir/suite.cpp.o.d"
+  "libadiv_anomaly.a"
+  "libadiv_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

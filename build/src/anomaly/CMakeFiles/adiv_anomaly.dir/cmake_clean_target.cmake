@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadiv_anomaly.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alarms.cpp" "src/core/CMakeFiles/adiv_core.dir/alarms.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/alarms.cpp.o.d"
+  "/root/repo/src/core/capability.cpp" "src/core/CMakeFiles/adiv_core.dir/capability.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/capability.cpp.o.d"
+  "/root/repo/src/core/diversity.cpp" "src/core/CMakeFiles/adiv_core.dir/diversity.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/diversity.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/core/CMakeFiles/adiv_core.dir/ensemble.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/ensemble.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/adiv_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/false_alarm.cpp" "src/core/CMakeFiles/adiv_core.dir/false_alarm.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/false_alarm.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/adiv_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/perf_map.cpp" "src/core/CMakeFiles/adiv_core.dir/perf_map.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/perf_map.cpp.o.d"
+  "/root/repo/src/core/response.cpp" "src/core/CMakeFiles/adiv_core.dir/response.cpp.o" "gcc" "src/core/CMakeFiles/adiv_core.dir/response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anomaly/CMakeFiles/adiv_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/adiv_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/adiv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adiv_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_core.dir/alarms.cpp.o"
+  "CMakeFiles/adiv_core.dir/alarms.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/capability.cpp.o"
+  "CMakeFiles/adiv_core.dir/capability.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/diversity.cpp.o"
+  "CMakeFiles/adiv_core.dir/diversity.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/ensemble.cpp.o"
+  "CMakeFiles/adiv_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/experiment.cpp.o"
+  "CMakeFiles/adiv_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/false_alarm.cpp.o"
+  "CMakeFiles/adiv_core.dir/false_alarm.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/online.cpp.o"
+  "CMakeFiles/adiv_core.dir/online.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/perf_map.cpp.o"
+  "CMakeFiles/adiv_core.dir/perf_map.cpp.o.d"
+  "CMakeFiles/adiv_core.dir/response.cpp.o"
+  "CMakeFiles/adiv_core.dir/response.cpp.o.d"
+  "libadiv_core.a"
+  "libadiv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

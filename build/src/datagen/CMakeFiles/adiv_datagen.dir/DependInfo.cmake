@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corpus.cpp" "src/datagen/CMakeFiles/adiv_datagen.dir/corpus.cpp.o" "gcc" "src/datagen/CMakeFiles/adiv_datagen.dir/corpus.cpp.o.d"
+  "/root/repo/src/datagen/markov_chain.cpp" "src/datagen/CMakeFiles/adiv_datagen.dir/markov_chain.cpp.o" "gcc" "src/datagen/CMakeFiles/adiv_datagen.dir/markov_chain.cpp.o.d"
+  "/root/repo/src/datagen/trace_model.cpp" "src/datagen/CMakeFiles/adiv_datagen.dir/trace_model.cpp.o" "gcc" "src/datagen/CMakeFiles/adiv_datagen.dir/trace_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_datagen.dir/corpus.cpp.o"
+  "CMakeFiles/adiv_datagen.dir/corpus.cpp.o.d"
+  "CMakeFiles/adiv_datagen.dir/markov_chain.cpp.o"
+  "CMakeFiles/adiv_datagen.dir/markov_chain.cpp.o.d"
+  "CMakeFiles/adiv_datagen.dir/trace_model.cpp.o"
+  "CMakeFiles/adiv_datagen.dir/trace_model.cpp.o.d"
+  "libadiv_datagen.a"
+  "libadiv_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/hmm_detector.cpp" "src/detect/CMakeFiles/adiv_detect.dir/hmm_detector.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/hmm_detector.cpp.o.d"
+  "/root/repo/src/detect/lane_brodley.cpp" "src/detect/CMakeFiles/adiv_detect.dir/lane_brodley.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/lane_brodley.cpp.o.d"
+  "/root/repo/src/detect/lfc.cpp" "src/detect/CMakeFiles/adiv_detect.dir/lfc.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/lfc.cpp.o.d"
+  "/root/repo/src/detect/lookahead_pairs.cpp" "src/detect/CMakeFiles/adiv_detect.dir/lookahead_pairs.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/lookahead_pairs.cpp.o.d"
+  "/root/repo/src/detect/markov.cpp" "src/detect/CMakeFiles/adiv_detect.dir/markov.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/markov.cpp.o.d"
+  "/root/repo/src/detect/nn_detector.cpp" "src/detect/CMakeFiles/adiv_detect.dir/nn_detector.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/nn_detector.cpp.o.d"
+  "/root/repo/src/detect/registry.cpp" "src/detect/CMakeFiles/adiv_detect.dir/registry.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/registry.cpp.o.d"
+  "/root/repo/src/detect/rule_detector.cpp" "src/detect/CMakeFiles/adiv_detect.dir/rule_detector.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/rule_detector.cpp.o.d"
+  "/root/repo/src/detect/stide.cpp" "src/detect/CMakeFiles/adiv_detect.dir/stide.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/stide.cpp.o.d"
+  "/root/repo/src/detect/tstide.cpp" "src/detect/CMakeFiles/adiv_detect.dir/tstide.cpp.o" "gcc" "src/detect/CMakeFiles/adiv_detect.dir/tstide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adiv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

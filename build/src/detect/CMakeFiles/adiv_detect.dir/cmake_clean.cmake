@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_detect.dir/hmm_detector.cpp.o"
+  "CMakeFiles/adiv_detect.dir/hmm_detector.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/lane_brodley.cpp.o"
+  "CMakeFiles/adiv_detect.dir/lane_brodley.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/lfc.cpp.o"
+  "CMakeFiles/adiv_detect.dir/lfc.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/lookahead_pairs.cpp.o"
+  "CMakeFiles/adiv_detect.dir/lookahead_pairs.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/markov.cpp.o"
+  "CMakeFiles/adiv_detect.dir/markov.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/nn_detector.cpp.o"
+  "CMakeFiles/adiv_detect.dir/nn_detector.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/registry.cpp.o"
+  "CMakeFiles/adiv_detect.dir/registry.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/rule_detector.cpp.o"
+  "CMakeFiles/adiv_detect.dir/rule_detector.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/stide.cpp.o"
+  "CMakeFiles/adiv_detect.dir/stide.cpp.o.d"
+  "CMakeFiles/adiv_detect.dir/tstide.cpp.o"
+  "CMakeFiles/adiv_detect.dir/tstide.cpp.o.d"
+  "libadiv_detect.a"
+  "libadiv_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_io.dir/model_io.cpp.o"
+  "CMakeFiles/adiv_io.dir/model_io.cpp.o.d"
+  "CMakeFiles/adiv_io.dir/stream_io.cpp.o"
+  "CMakeFiles/adiv_io.dir/stream_io.cpp.o.d"
+  "libadiv_io.a"
+  "libadiv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

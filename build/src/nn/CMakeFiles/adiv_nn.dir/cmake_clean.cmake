@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_nn.dir/encoding.cpp.o"
+  "CMakeFiles/adiv_nn.dir/encoding.cpp.o.d"
+  "CMakeFiles/adiv_nn.dir/hmm.cpp.o"
+  "CMakeFiles/adiv_nn.dir/hmm.cpp.o.d"
+  "CMakeFiles/adiv_nn.dir/matrix.cpp.o"
+  "CMakeFiles/adiv_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/adiv_nn.dir/mlp.cpp.o"
+  "CMakeFiles/adiv_nn.dir/mlp.cpp.o.d"
+  "libadiv_nn.a"
+  "libadiv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alphabet.cpp" "src/seq/CMakeFiles/adiv_seq.dir/alphabet.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/alphabet.cpp.o.d"
+  "/root/repo/src/seq/conditional_model.cpp" "src/seq/CMakeFiles/adiv_seq.dir/conditional_model.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/conditional_model.cpp.o.d"
+  "/root/repo/src/seq/ngram.cpp" "src/seq/CMakeFiles/adiv_seq.dir/ngram.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/ngram.cpp.o.d"
+  "/root/repo/src/seq/ngram_table.cpp" "src/seq/CMakeFiles/adiv_seq.dir/ngram_table.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/ngram_table.cpp.o.d"
+  "/root/repo/src/seq/stats.cpp" "src/seq/CMakeFiles/adiv_seq.dir/stats.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/stats.cpp.o.d"
+  "/root/repo/src/seq/stream.cpp" "src/seq/CMakeFiles/adiv_seq.dir/stream.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/stream.cpp.o.d"
+  "/root/repo/src/seq/types.cpp" "src/seq/CMakeFiles/adiv_seq.dir/types.cpp.o" "gcc" "src/seq/CMakeFiles/adiv_seq.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

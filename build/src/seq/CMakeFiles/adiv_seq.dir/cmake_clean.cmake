@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_seq.dir/alphabet.cpp.o"
+  "CMakeFiles/adiv_seq.dir/alphabet.cpp.o.d"
+  "CMakeFiles/adiv_seq.dir/conditional_model.cpp.o"
+  "CMakeFiles/adiv_seq.dir/conditional_model.cpp.o.d"
+  "CMakeFiles/adiv_seq.dir/ngram.cpp.o"
+  "CMakeFiles/adiv_seq.dir/ngram.cpp.o.d"
+  "CMakeFiles/adiv_seq.dir/ngram_table.cpp.o"
+  "CMakeFiles/adiv_seq.dir/ngram_table.cpp.o.d"
+  "CMakeFiles/adiv_seq.dir/stats.cpp.o"
+  "CMakeFiles/adiv_seq.dir/stats.cpp.o.d"
+  "CMakeFiles/adiv_seq.dir/stream.cpp.o"
+  "CMakeFiles/adiv_seq.dir/stream.cpp.o.d"
+  "CMakeFiles/adiv_seq.dir/types.cpp.o"
+  "CMakeFiles/adiv_seq.dir/types.cpp.o.d"
+  "libadiv_seq.a"
+  "libadiv_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_util.dir/cli.cpp.o"
+  "CMakeFiles/adiv_util.dir/cli.cpp.o.d"
+  "CMakeFiles/adiv_util.dir/csv.cpp.o"
+  "CMakeFiles/adiv_util.dir/csv.cpp.o.d"
+  "CMakeFiles/adiv_util.dir/rng.cpp.o"
+  "CMakeFiles/adiv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/adiv_util.dir/table.cpp.o"
+  "CMakeFiles/adiv_util.dir/table.cpp.o.d"
+  "libadiv_util.a"
+  "libadiv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anomaly/foreign_test.cpp" "tests/CMakeFiles/adiv_tests.dir/anomaly/foreign_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/anomaly/foreign_test.cpp.o.d"
+  "/root/repo/tests/anomaly/injection_test.cpp" "tests/CMakeFiles/adiv_tests.dir/anomaly/injection_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/anomaly/injection_test.cpp.o.d"
+  "/root/repo/tests/anomaly/mfs_builder_test.cpp" "tests/CMakeFiles/adiv_tests.dir/anomaly/mfs_builder_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/anomaly/mfs_builder_test.cpp.o.d"
+  "/root/repo/tests/anomaly/oracle_test.cpp" "tests/CMakeFiles/adiv_tests.dir/anomaly/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/anomaly/oracle_test.cpp.o.d"
+  "/root/repo/tests/anomaly/rare_anomaly_test.cpp" "tests/CMakeFiles/adiv_tests.dir/anomaly/rare_anomaly_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/anomaly/rare_anomaly_test.cpp.o.d"
+  "/root/repo/tests/anomaly/suite_test.cpp" "tests/CMakeFiles/adiv_tests.dir/anomaly/suite_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/anomaly/suite_test.cpp.o.d"
+  "/root/repo/tests/core/alarms_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/alarms_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/alarms_test.cpp.o.d"
+  "/root/repo/tests/core/capability_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/capability_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/capability_test.cpp.o.d"
+  "/root/repo/tests/core/diversity_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/diversity_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/diversity_test.cpp.o.d"
+  "/root/repo/tests/core/ensemble_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/ensemble_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/ensemble_test.cpp.o.d"
+  "/root/repo/tests/core/false_alarm_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/false_alarm_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/false_alarm_test.cpp.o.d"
+  "/root/repo/tests/core/online_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/online_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/online_test.cpp.o.d"
+  "/root/repo/tests/core/perf_map_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/perf_map_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/perf_map_test.cpp.o.d"
+  "/root/repo/tests/core/response_test.cpp" "tests/CMakeFiles/adiv_tests.dir/core/response_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/core/response_test.cpp.o.d"
+  "/root/repo/tests/datagen/corpus_test.cpp" "tests/CMakeFiles/adiv_tests.dir/datagen/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/datagen/corpus_test.cpp.o.d"
+  "/root/repo/tests/datagen/markov_chain_test.cpp" "tests/CMakeFiles/adiv_tests.dir/datagen/markov_chain_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/datagen/markov_chain_test.cpp.o.d"
+  "/root/repo/tests/datagen/trace_model_test.cpp" "tests/CMakeFiles/adiv_tests.dir/datagen/trace_model_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/datagen/trace_model_test.cpp.o.d"
+  "/root/repo/tests/detect/hmm_detector_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/hmm_detector_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/hmm_detector_test.cpp.o.d"
+  "/root/repo/tests/detect/lane_brodley_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/lane_brodley_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/lane_brodley_test.cpp.o.d"
+  "/root/repo/tests/detect/lfc_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/lfc_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/lfc_test.cpp.o.d"
+  "/root/repo/tests/detect/lookahead_pairs_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/lookahead_pairs_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/lookahead_pairs_test.cpp.o.d"
+  "/root/repo/tests/detect/markov_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/markov_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/markov_test.cpp.o.d"
+  "/root/repo/tests/detect/nn_detector_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/nn_detector_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/nn_detector_test.cpp.o.d"
+  "/root/repo/tests/detect/registry_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/registry_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/registry_test.cpp.o.d"
+  "/root/repo/tests/detect/rule_detector_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/rule_detector_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/rule_detector_test.cpp.o.d"
+  "/root/repo/tests/detect/stide_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/stide_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/stide_test.cpp.o.d"
+  "/root/repo/tests/detect/tstide_test.cpp" "tests/CMakeFiles/adiv_tests.dir/detect/tstide_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/detect/tstide_test.cpp.o.d"
+  "/root/repo/tests/integration/all_detector_maps_test.cpp" "tests/CMakeFiles/adiv_tests.dir/integration/all_detector_maps_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/integration/all_detector_maps_test.cpp.o.d"
+  "/root/repo/tests/integration/ensemble_claims_test.cpp" "tests/CMakeFiles/adiv_tests.dir/integration/ensemble_claims_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/integration/ensemble_claims_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/adiv_tests.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/maps_test.cpp" "tests/CMakeFiles/adiv_tests.dir/integration/maps_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/integration/maps_test.cpp.o.d"
+  "/root/repo/tests/integration/rare_anomaly_maps_test.cpp" "tests/CMakeFiles/adiv_tests.dir/integration/rare_anomaly_maps_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/integration/rare_anomaly_maps_test.cpp.o.d"
+  "/root/repo/tests/io/model_io_test.cpp" "tests/CMakeFiles/adiv_tests.dir/io/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/io/model_io_test.cpp.o.d"
+  "/root/repo/tests/io/stream_io_test.cpp" "tests/CMakeFiles/adiv_tests.dir/io/stream_io_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/io/stream_io_test.cpp.o.d"
+  "/root/repo/tests/nn/encoding_test.cpp" "tests/CMakeFiles/adiv_tests.dir/nn/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/nn/encoding_test.cpp.o.d"
+  "/root/repo/tests/nn/hmm_test.cpp" "tests/CMakeFiles/adiv_tests.dir/nn/hmm_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/nn/hmm_test.cpp.o.d"
+  "/root/repo/tests/nn/matrix_test.cpp" "tests/CMakeFiles/adiv_tests.dir/nn/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/nn/matrix_test.cpp.o.d"
+  "/root/repo/tests/nn/mlp_test.cpp" "tests/CMakeFiles/adiv_tests.dir/nn/mlp_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/nn/mlp_test.cpp.o.d"
+  "/root/repo/tests/seq/alphabet_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/alphabet_test.cpp.o.d"
+  "/root/repo/tests/seq/conditional_model_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/conditional_model_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/conditional_model_test.cpp.o.d"
+  "/root/repo/tests/seq/ngram_table_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/ngram_table_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/ngram_table_test.cpp.o.d"
+  "/root/repo/tests/seq/ngram_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/ngram_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/ngram_test.cpp.o.d"
+  "/root/repo/tests/seq/stats_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/stats_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/stats_test.cpp.o.d"
+  "/root/repo/tests/seq/stream_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/stream_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/stream_test.cpp.o.d"
+  "/root/repo/tests/seq/types_test.cpp" "tests/CMakeFiles/adiv_tests.dir/seq/types_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/seq/types_test.cpp.o.d"
+  "/root/repo/tests/support/corpus_fixture.cpp" "tests/CMakeFiles/adiv_tests.dir/support/corpus_fixture.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/support/corpus_fixture.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/adiv_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/adiv_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/adiv_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/adiv_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/text_serial_test.cpp" "tests/CMakeFiles/adiv_tests.dir/util/text_serial_test.cpp.o" "gcc" "tests/CMakeFiles/adiv_tests.dir/util/text_serial_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/adiv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/adiv_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adiv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/adiv_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/adiv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

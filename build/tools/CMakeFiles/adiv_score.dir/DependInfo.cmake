@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/adiv_score.cpp" "tools/CMakeFiles/adiv_score.dir/adiv_score.cpp.o" "gcc" "tools/CMakeFiles/adiv_score.dir/adiv_score.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/adiv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/adiv_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adiv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/adiv_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/adiv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/adiv_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adiv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_score.dir/adiv_score.cpp.o"
+  "CMakeFiles/adiv_score.dir/adiv_score.cpp.o.d"
+  "adiv_score"
+  "adiv_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adiv_train.dir/adiv_train.cpp.o"
+  "CMakeFiles/adiv_train.dir/adiv_train.cpp.o.d"
+  "adiv_train"
+  "adiv_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adiv_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
