@@ -53,18 +53,18 @@ int main(int argc, char** argv) {
     TextTable table;
     table.header({"setting", "capable", "weak", "blind", "seconds"});
     const std::size_t cells = suite.entry_count();
+    Stopwatch sw;
     for (const Variant& v : variants) {
         DetectorSettings settings;
         settings.nn.hidden_units = v.hidden;
         settings.nn.epochs = v.epochs;
         settings.nn.learning_rate = v.lr;
         settings.nn.momentum = v.momentum;
-        Stopwatch sw;
         const PerformanceMap map = run_map_experiment(
             suite, "neural-net", factory_for(DetectorKind::NeuralNet, settings));
         table.add(v.label, map.count(DetectionOutcome::Capable),
                   map.count(DetectionOutcome::Weak),
-                  map.count(DetectionOutcome::Blind), fixed(sw.seconds(), 1));
+                  map.count(DetectionOutcome::Blind), fixed(sw.lap(), 1));
     }
     std::cout << table.render();
     std::printf("\n(%zu cells per map) A tuned network mimics the Markov "

@@ -15,9 +15,11 @@ void add_common_options(CliParser& cli) {
     cli.add_option("min-window", "2", "smallest detector window (paper: 2)");
     cli.add_option("max-window", "15", "largest detector window (paper: 15)");
     cli.add_option("seed", "20050628", "corpus generation seed");
+    add_observability_options(cli);
 }
 
-Context make_context(const CliParser& cli, bool build_suite) {
+Context make_context(const CliParser& cli, bool build_suite,
+                     const std::string& program) {
     Context ctx;
     ctx.spec.training_length =
         static_cast<std::size_t>(cli.get_int("training-length"));
@@ -31,18 +33,30 @@ Context make_context(const CliParser& cli, bool build_suite) {
     ctx.suite_config.min_window = static_cast<std::size_t>(cli.get_int("min-window"));
     ctx.suite_config.max_window = static_cast<std::size_t>(cli.get_int("max-window"));
 
+    RunManifest manifest = make_manifest(program);
+    manifest.seed = ctx.spec.seed;
+    manifest.alphabet_size = ctx.spec.alphabet_size;
+    manifest.training_length = ctx.spec.training_length;
+    manifest.deviation_rate = ctx.spec.deviation_rate;
+    manifest.deviation_targets = ctx.spec.deviation_targets;
+    manifest.rare_threshold = ctx.spec.rare_threshold;
+    manifest.min_anomaly_size = ctx.suite_config.min_anomaly_size;
+    manifest.max_anomaly_size = ctx.suite_config.max_anomaly_size;
+    manifest.min_window = ctx.suite_config.min_window;
+    manifest.max_window = ctx.suite_config.max_window;
+    ctx.obs = std::make_unique<ObsSession>(cli, std::move(manifest));
+
     Stopwatch sw;
     ctx.corpus = std::make_unique<TrainingCorpus>(TrainingCorpus::generate(ctx.spec));
     std::printf("# corpus: %zu elements, alphabet %zu (%.2fs)\n",
-                ctx.corpus->training().size(), ctx.spec.alphabet_size, sw.seconds());
+                ctx.corpus->training().size(), ctx.spec.alphabet_size, sw.lap());
     if (build_suite) {
-        sw.restart();
         ctx.suite = std::make_unique<EvaluationSuite>(
             EvaluationSuite::build(*ctx.corpus, ctx.suite_config));
         std::printf("# suite: %zu test streams (AS %zu..%zu x DW %zu..%zu) (%.2fs)\n",
                     ctx.suite->entry_count(), ctx.suite_config.min_anomaly_size,
                     ctx.suite_config.max_anomaly_size, ctx.suite_config.min_window,
-                    ctx.suite_config.max_window, sw.seconds());
+                    ctx.suite_config.max_window, sw.lap());
     }
     return ctx;
 }
@@ -53,7 +67,7 @@ std::unique_ptr<Context> context_from_args(const std::string& program,
     CliParser cli(program, summary);
     add_common_options(cli);
     if (!cli.parse(argc, argv)) return nullptr;
-    return std::make_unique<Context>(make_context(cli, build_suite));
+    return std::make_unique<Context>(make_context(cli, build_suite, program));
 }
 
 void banner(const std::string& title) {

@@ -11,6 +11,7 @@
 
 #include "anomaly/suite.hpp"
 #include "datagen/corpus.hpp"
+#include "obs/session.hpp"
 #include "util/cli.hpp"
 
 namespace adiv::bench {
@@ -18,15 +19,20 @@ namespace adiv::bench {
 struct Context {
     CorpusSpec spec;
     SuiteConfig suite_config;
+    /// Installed before corpus generation when --metrics/--trace are given;
+    /// dumps the final metrics when the context is destroyed.
+    std::unique_ptr<ObsSession> obs;
     std::unique_ptr<TrainingCorpus> corpus;
     std::unique_ptr<EvaluationSuite> suite;
 };
 
-/// Registers the common options on a parser.
+/// Registers the common options on a parser (including --metrics/--trace).
 void add_common_options(CliParser& cli);
 
 /// Builds corpus (always) and suite (when build_suite) from parsed options.
-Context make_context(const CliParser& cli, bool build_suite = true);
+/// `program` labels the run manifest.
+Context make_context(const CliParser& cli, bool build_suite = true,
+                     const std::string& program = "bench");
 
 /// Convenience: parse argv with the common options; returns nullptr if
 /// --help was requested.

@@ -31,14 +31,14 @@ int main(int argc, char** argv) {
     settings.hmm.iterations = 25;
 
     std::vector<PerformanceMap> maps;
+    Stopwatch sw;
     for (DetectorKind kind :
          {DetectorKind::TStide, DetectorKind::Hmm, DetectorKind::Rule,
           DetectorKind::LookaheadPairs}) {
-        Stopwatch sw;
         maps.push_back(run_map_experiment(*ctx->suite, to_string(kind),
                                           factory_for(kind, settings)));
         bench::banner("Performance map: " + to_string(kind));
-        std::printf("# experiment: %.2fs\n\n", sw.seconds());
+        std::printf("# experiment: %.2fs\n\n", sw.lap());
         std::cout << maps.back().render() << '\n';
     }
 

@@ -6,6 +6,13 @@
 // are evaluated on, and the diversity/coverage analysis built on top.
 #pragma once
 
+// Observability: metrics, trace spans, run manifests
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+
 // Utility substrate
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -45,6 +52,7 @@
 // Detectors
 #include "detect/detector.hpp"
 #include "detect/hmm_detector.hpp"
+#include "detect/instrumented.hpp"
 #include "detect/lane_brodley.hpp"
 #include "detect/lfc.hpp"
 #include "detect/lookahead_pairs.hpp"

@@ -1,6 +1,9 @@
 #include "core/experiment.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace adiv {
 
@@ -8,6 +11,10 @@ SpanScore score_entry(const SequenceDetector& detector,
                       const EvaluationSuite::Entry& entry) {
     require(detector.window_length() == entry.window_length,
             "detector window does not match suite entry window");
+    TraceSpan span("experiment.score");
+    span.attr("detector", detector.name())
+        .attr("anomaly_size", static_cast<std::uint64_t>(entry.anomaly_size))
+        .attr("window", static_cast<std::uint64_t>(entry.window_length));
     const std::vector<double> responses = detector.score(entry.stream.stream);
     return classify_span(responses, entry.stream.span);
 }
@@ -17,18 +24,48 @@ PerformanceMap run_map_experiment(const EvaluationSuite& suite,
                                   const DetectorFactory& factory,
                                   const ExperimentProgress& progress) {
     PerformanceMap map(detector_name, suite.anomaly_sizes(), suite.window_lengths());
+
+    TraceSpan map_span("experiment.map");
+    map_span.attr("detector", detector_name)
+        .attr("windows", static_cast<std::uint64_t>(suite.window_lengths().size()))
+        .attr("anomaly_sizes",
+              static_cast<std::uint64_t>(suite.anomaly_sizes().size()));
+    Counter& cells_scored = global_metrics().counter("experiment.cells_scored");
+    Histogram& cell_us = global_metrics().histogram("experiment.cell_us");
+    Gauge& cells_per_second = global_metrics().gauge("experiment.cells_per_second");
+
+    const Stopwatch total;
+    std::size_t cells = 0;
     for (std::size_t dw : suite.window_lengths()) {
         const std::unique_ptr<SequenceDetector> detector = factory(dw);
         require(detector != nullptr, "detector factory returned null");
         require(detector->window_length() == dw,
                 "factory produced detector with wrong window length");
-        detector->train(suite.corpus().training());
+        {
+            TraceSpan train_span("experiment.train");
+            train_span.attr("detector", detector_name)
+                .attr("window", static_cast<std::uint64_t>(dw))
+                .attr("events",
+                      static_cast<std::uint64_t>(suite.corpus().training().size()));
+            detector->train(suite.corpus().training());
+        }
         for (std::size_t as : suite.anomaly_sizes()) {
+            TraceSpan cell_span("experiment.cell");
+            cell_span.attr("detector", detector_name)
+                .attr("anomaly_size", static_cast<std::uint64_t>(as))
+                .attr("window", static_cast<std::uint64_t>(dw));
+            const Stopwatch cell_watch;
             const SpanScore score = score_entry(*detector, suite.entry(as, dw));
+            cell_us.record(cell_watch.seconds() * 1e6);
+            cells_scored.add(1);
+            ++cells;
             map.set(as, dw, score);
             if (progress) progress(as, dw, score);
         }
     }
+    const double elapsed = total.seconds();
+    if (elapsed > 0.0 && cells > 0)
+        cells_per_second.set(static_cast<double>(cells) / elapsed);
     return map;
 }
 

@@ -3,37 +3,54 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace adiv {
 
 OnlineScorer::OnlineScorer(const SequenceDetector& detector,
-                           std::size_t buffer_capacity)
+                           std::size_t buffer_capacity, MetricsRegistry& metrics)
     : detector_(&detector),
       capacity_(std::max(buffer_capacity, detector.window_length())),
-      alphabet_size_(detector.alphabet_size()) {
+      alphabet_size_(detector.alphabet_size()),
+      events_counter_(metrics.counter("online.events_consumed")),
+      push_latency_us_(metrics.histogram("online.push_latency_us")),
+      alarm_rate_gauge_(metrics.gauge("online.alarm_rate")) {
     require(detector.window_length() >= 1, "detector window must be positive");
     if (buffer_capacity == 0) capacity_ = 4 * detector.window_length();
 }
 
 std::optional<double> OnlineScorer::push(Symbol event) {
+    const Stopwatch watch;
     require_data(event < alphabet_size_, "event outside the training alphabet");
     buffer_.push_back(event);
     if (buffer_.size() > capacity_) buffer_.pop_front();
     ++consumed_;
+    events_counter_.add(1);
 
     const std::size_t dw = detector_->window_length();
-    if (buffer_.size() < dw) return std::nullopt;
+    if (buffer_.size() < dw) {
+        push_latency_us_.record(watch.seconds() * 1e6);
+        return std::nullopt;
+    }
 
     EventStream window_stream(alphabet_size_,
                               Sequence(buffer_.begin(), buffer_.end()));
     const std::vector<double> responses = detector_->score(window_stream);
     ADIV_ASSERT(!responses.empty());
-    return responses.back();
+    const double response = responses.back();
+
+    ++windows_;
+    if (response >= kMaximalResponse) ++alarms_;
+    alarm_rate_gauge_.set(alarm_rate());
+    push_latency_us_.record(watch.seconds() * 1e6);
+    return response;
 }
 
 void OnlineScorer::reset() {
     buffer_.clear();
     consumed_ = 0;
+    windows_ = 0;
+    alarms_ = 0;
 }
 
 }  // namespace adiv

@@ -10,12 +10,22 @@
 // bounded restart horizon (the buffer) — an approximation that converges to
 // the batch value as the buffer grows; buffer_capacity controls the
 // trade-off.
+//
+// Instrumentation: every scorer reports to a metrics registry (the
+// process-global one unless a test injects its own):
+//   online.events_consumed   counter, one per push
+//   online.push_latency_us   histogram over per-push wall time
+//   online.alarm_rate        gauge, maximal-response windows / windows scored
+// Scorer-local accessors (events_consumed, windows_scored, alarms) expose
+// the same quantities without the registry; registry metrics are cumulative
+// across scorers and survive reset().
 #pragma once
 
 #include <deque>
 #include <optional>
 
 #include "detect/detector.hpp"
+#include "obs/metrics.hpp"
 
 namespace adiv {
 
@@ -24,7 +34,8 @@ public:
     /// The detector must be trained and must outlive the scorer.
     /// buffer_capacity is clamped to at least the detector window.
     explicit OnlineScorer(const SequenceDetector& detector,
-                          std::size_t buffer_capacity = 0);
+                          std::size_t buffer_capacity = 0,
+                          MetricsRegistry& metrics = global_metrics());
 
     /// Consumes one event. Returns the response of the window ending at this
     /// event, or nullopt while fewer than DW events have been seen.
@@ -32,6 +43,20 @@ public:
 
     /// Events consumed since construction or the last reset.
     [[nodiscard]] std::size_t events_consumed() const noexcept { return consumed_; }
+
+    /// Windows scored (pushes that returned a response) since construction
+    /// or the last reset.
+    [[nodiscard]] std::size_t windows_scored() const noexcept { return windows_; }
+
+    /// Scored windows whose response was maximal (>= kMaximalResponse).
+    [[nodiscard]] std::size_t alarms() const noexcept { return alarms_; }
+
+    /// alarms() / windows_scored(); 0 before the first scored window.
+    [[nodiscard]] double alarm_rate() const noexcept {
+        return windows_ == 0 ? 0.0
+                             : static_cast<double>(alarms_) /
+                                   static_cast<double>(windows_);
+    }
 
     /// Drops all buffered history (e.g. at a session boundary).
     void reset();
@@ -46,6 +71,11 @@ private:
     std::size_t alphabet_size_;
     std::deque<Symbol> buffer_;
     std::size_t consumed_ = 0;
+    std::size_t windows_ = 0;
+    std::size_t alarms_ = 0;
+    Counter& events_counter_;
+    Histogram& push_latency_us_;
+    Gauge& alarm_rate_gauge_;
 };
 
 }  // namespace adiv

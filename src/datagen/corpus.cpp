@@ -1,5 +1,6 @@
 #include "datagen/corpus.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace adiv {
@@ -68,6 +69,7 @@ EventStream TrainingCorpus::background(std::size_t length, Symbol start_phase) c
         events.push_back(s);
         s = cycle_successor(s);
     }
+    global_metrics().counter("datagen.symbols_generated").add(events.size());
     return EventStream(spec_.alphabet_size, std::move(events));
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace adiv {
@@ -67,6 +68,7 @@ EventStream TransitionMatrix::generate(std::size_t length, Symbol start, Rng& rn
         current = sample_next(current, rng);
         events.push_back(current);
     }
+    global_metrics().counter("datagen.symbols_generated").add(events.size());
     return EventStream(size_, std::move(events));
 }
 

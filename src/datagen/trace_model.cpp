@@ -1,5 +1,6 @@
 #include "datagen/trace_model.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace adiv {
@@ -32,6 +33,7 @@ EventStream TraceModel::generate(std::size_t length, std::uint64_t seed) const {
         events.insert(events.end(), r.symbols.begin(), r.symbols.end());
     }
     events.resize(length);
+    global_metrics().counter("datagen.symbols_generated").add(events.size());
     return EventStream(alphabet_.size(), std::move(events));
 }
 

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "detect/hmm_detector.hpp"
+#include "detect/instrumented.hpp"
 #include "detect/lane_brodley.hpp"
 #include "detect/lookahead_pairs.hpp"
 #include "detect/markov.hpp"
@@ -21,6 +22,13 @@ constexpr int kFormatVersion = 1;
 }  // namespace
 
 void save_detector(const SequenceDetector& detector, std::ostream& out) {
+    // The observability decorator forwards name() but is not the concrete
+    // type the casts below expect; persist what it wraps.
+    if (const auto* instrumented =
+            dynamic_cast<const InstrumentedDetector*>(&detector)) {
+        save_detector(instrumented->inner(), out);
+        return;
+    }
     const DetectorKind kind = detector_kind_from_string(detector.name());
     out << "adiv-model " << kFormatVersion << ' ' << to_string(kind) << '\n';
     switch (kind) {

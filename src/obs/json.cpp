@@ -1,0 +1,136 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace adiv {
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+    return buf;
+}
+
+void JsonWriter::before_value() {
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        ADIV_ASSERT(stack_.back() == '[');  // object members need key() first
+        if (has_item_.back()) out_ += ',';
+        has_item_.back() = true;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    out_ += '{';
+    stack_.push_back('{');
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    ADIV_ASSERT(!stack_.empty() && stack_.back() == '{' && !pending_key_);
+    out_ += '}';
+    stack_.pop_back();
+    has_item_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    out_ += '[';
+    stack_.push_back('[');
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    ADIV_ASSERT(!stack_.empty() && stack_.back() == '[');
+    out_ += ']';
+    stack_.pop_back();
+    has_item_.pop_back();
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+    ADIV_ASSERT(!stack_.empty() && stack_.back() == '{' && !pending_key_);
+    if (has_item_.back()) out_ += ',';
+    has_item_.back() = true;
+    out_ += '"';
+    out_ += json_escape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+    before_value();
+    out_ += '"';
+    out_ += json_escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+    before_value();
+    out_ += json_number(number);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+    before_value();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+    before_value();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+    before_value();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view token) {
+    before_value();
+    out_ += token;
+    return *this;
+}
+
+}  // namespace adiv

@@ -1,0 +1,68 @@
+// Minimal JSON emission for the observability layer.
+//
+// The trace sinks stream JSON-lines and the metrics dump writes one JSON
+// document; both need nothing more than escaping and a writer that tracks
+// commas. Parsing is out of scope — the repo consumes its own output with
+// line-oriented tools, not a DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adiv {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters; everything else passes through, so UTF-8
+/// payloads stay readable).
+std::string json_escape(std::string_view text);
+
+/// Formats a double as a JSON number token. Non-finite values have no JSON
+/// representation and are emitted as null.
+std::string json_number(double value);
+
+/// Incremental single-line JSON writer. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object().key("name").value("stide").key("n").value(42);
+///   w.end_object();
+///   std::string line = w.str();
+///
+/// The writer inserts commas automatically; nesting is tracked with an
+/// explicit stack so mismatched begin/end pairs trip an assertion rather
+/// than emitting garbage.
+class JsonWriter {
+public:
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Emits `"key":`; must be inside an object.
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view text);
+    JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+    JsonWriter& value(const std::string& text) { return value(std::string_view(text)); }
+    JsonWriter& value(double number);
+    JsonWriter& value(std::uint64_t number);
+    JsonWriter& value(std::int64_t number);
+    JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+    JsonWriter& value(bool flag);
+
+    /// Emits a pre-rendered JSON token verbatim (e.g. a nested document).
+    JsonWriter& raw(std::string_view token);
+
+    [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+private:
+    void before_value();
+
+    std::string out_;
+    std::vector<char> stack_;     // '{' or '['
+    std::vector<bool> has_item_;  // parallel to stack_
+    bool pending_key_ = false;
+};
+
+}  // namespace adiv

@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace adiv {
+
+namespace {
+
+void atomic_fetch_min(std::atomic<double>& target, double value) noexcept {
+    double current = target.load(std::memory_order_relaxed);
+    while (value < current &&
+           !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_fetch_max(std::atomic<double>& target, double value) noexcept {
+    double current = target.load(std::memory_order_relaxed);
+    while (value > current &&
+           !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), buckets_(bounds_.size() + 1) {
+    require(!bounds_.empty(), "histogram needs at least one bucket bound");
+    require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+            "histogram bucket bounds must be strictly ascending");
+}
+
+std::vector<double> Histogram::latency_buckets_us() {
+    return {1,     2,     5,     10,    20,    50,    100,   200,   500,
+            1e3,   2e3,   5e3,   1e4,   2e4,   5e4,   1e5,   2e5,   5e5,
+            1e6};
+}
+
+void Histogram::record(double value) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+        // First sample seeds min/max; racing recorders converge via the
+        // CAS loops below.
+        min_.store(value, std::memory_order_relaxed);
+        max_.store(value, std::memory_order_relaxed);
+    }
+    atomic_fetch_min(min_, value);
+    atomic_fetch_max(max_, value);
+}
+
+double Histogram::percentile(double q) const {
+    require(q >= 0.0 && q <= 1.0, "percentile rank must be in [0, 1]");
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+
+    const double min = min_.load(std::memory_order_relaxed);
+    const double max = max_.load(std::memory_order_relaxed);
+    const double rank = q * static_cast<double>(total);
+
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const auto in_bucket =
+            static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+        if (in_bucket == 0.0) continue;
+        if (cumulative + in_bucket >= rank) {
+            const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+            const double upper = i < bounds_.size() ? bounds_[i] : max;
+            const double fraction =
+                std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+            const double estimate = lower + (upper - lower) * fraction;
+            return std::clamp(estimate, min, max);
+        }
+        cumulative += in_bucket;
+    }
+    return max;  // q == 1 or counter races; the top sample is the answer
+}
+
+HistogramSummary Histogram::summary() const {
+    HistogramSummary s;
+    s.count = count();
+    if (s.count == 0) return s;
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.mean = s.sum / static_cast<double>(s.count);
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = percentile(0.50);
+    s.p95 = percentile(0.95);
+    s.p99 = percentile(0.99);
+    return s;
+}
+
+void Histogram::reset() noexcept {
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    for (const auto& [name, counter] : counters_)
+        snap.counters.emplace_back(name, counter->value());
+    for (const auto& [name, gauge] : gauges_)
+        snap.gauges.emplace_back(name, gauge->value());
+    for (const auto& [name, histogram] : histograms_)
+        snap.histograms.emplace_back(name, histogram->summary());
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->reset();
+    for (auto& [name, gauge] : gauges_) gauge->reset();
+    for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& global_metrics() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::string render_metrics_table(const MetricsRegistry& registry) {
+    const MetricsRegistry::Snapshot snap = registry.snapshot();
+    std::string out;
+    if (!snap.counters.empty()) {
+        TextTable table;
+        table.header({"counter", "value"});
+        for (const auto& [name, value] : snap.counters) table.add(name, value);
+        out += table.render();
+    }
+    if (!snap.gauges.empty()) {
+        if (!out.empty()) out += '\n';
+        TextTable table;
+        table.header({"gauge", "value"});
+        for (const auto& [name, value] : snap.gauges) table.add(name, fixed(value, 6));
+        out += table.render();
+    }
+    if (!snap.histograms.empty()) {
+        if (!out.empty()) out += '\n';
+        TextTable table;
+        table.header({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+        for (const auto& [name, s] : snap.histograms)
+            table.add(name, s.count, fixed(s.mean, 3), fixed(s.p50, 3),
+                      fixed(s.p95, 3), fixed(s.p99, 3), fixed(s.max, 3));
+        out += table.render();
+    }
+    if (out.empty()) out = "(no metrics recorded)\n";
+    return out;
+}
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+    const MetricsRegistry::Snapshot snap = registry.snapshot();
+    JsonWriter w;
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : snap.counters) w.key(name).value(value);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, value] : snap.gauges) w.key(name).value(value);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, s] : snap.histograms) {
+        w.key(name).begin_object();
+        w.key("count").value(s.count);
+        w.key("sum").value(s.sum);
+        w.key("mean").value(s.mean);
+        w.key("min").value(s.min);
+        w.key("max").value(s.max);
+        w.key("p50").value(s.p50);
+        w.key("p95").value(s.p95);
+        w.key("p99").value(s.p99);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace adiv

@@ -1,0 +1,154 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Instruments are lock-free on the hot path (relaxed atomics); the registry
+// itself takes a mutex only on name lookup, so callers that care about
+// per-event cost resolve their instruments once and keep the references —
+// instrument addresses are stable for the registry's lifetime.
+//
+// A process-global registry (`global_metrics()`) lets any layer report
+// without plumbing; tests and benchmarks inject a local registry instead to
+// observe instrumentation in isolation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adiv {
+
+/// Monotonic event counter.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (e.g. a rate or a fill level).
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { set(0.0); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time digest of a histogram.
+struct HistogramSummary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/// Fixed-bucket histogram for latency-like values.
+///
+/// Buckets are (lower, upper] intervals over the given ascending upper
+/// bounds, plus an implicit overflow bucket. Percentiles are estimated by
+/// linear interpolation within the bucket holding the requested rank and
+/// clamped to the observed [min, max], so a single-sample histogram reports
+/// that sample exactly and an empty histogram reports 0.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bucket_bounds = latency_buckets_us());
+
+    void record(double value) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /// Percentile estimate for q in [0, 1]; 0 when empty.
+    [[nodiscard]] double percentile(double q) const;
+
+    [[nodiscard]] HistogramSummary summary() const;
+
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+    void reset() noexcept;
+
+    /// Default bounds, tuned for microsecond latencies: 1us .. 1s, roughly
+    /// logarithmic (1-2-5 per decade).
+    static std::vector<double> latency_buckets_us();
+
+private:
+    std::vector<double> bounds_;                       // ascending upper bounds
+    std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1 (overflow)
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};  // valid when count_ > 0
+    std::atomic<double> max_{0.0};
+};
+
+/// Named instrument store. Lookup creates on first use; references returned
+/// stay valid for the registry's lifetime.
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> bounds = Histogram::latency_buckets_us());
+
+    /// Lookup without creation; nullptr when the name is unknown.
+    [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+    [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+    struct Snapshot {
+        std::vector<std::pair<std::string, std::uint64_t>> counters;
+        std::vector<std::pair<std::string, double>> gauges;
+        std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+        [[nodiscard]] bool empty() const noexcept {
+            return counters.empty() && gauges.empty() && histograms.empty();
+        }
+    };
+
+    /// Name-sorted point-in-time view of every instrument.
+    [[nodiscard]] Snapshot snapshot() const;
+
+    /// Zeroes every instrument. Handles held by callers stay valid.
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry every built-in instrumentation point uses by
+/// default.
+MetricsRegistry& global_metrics();
+
+/// Human-readable dump: one util/table per instrument kind.
+std::string render_metrics_table(const MetricsRegistry& registry);
+
+/// Machine-readable dump: a single JSON object
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,..,p99},...}}.
+std::string metrics_to_json(const MetricsRegistry& registry);
+
+}  // namespace adiv

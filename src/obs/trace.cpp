@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+
+namespace {
+
+thread_local int t_span_depth = 0;
+
+std::mutex& global_sink_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+std::shared_ptr<TraceSink>& global_sink_slot() {
+    static std::shared_ptr<TraceSink> sink = std::make_shared<NullTraceSink>();
+    return sink;
+}
+
+}  // namespace
+
+void StreamTraceSink::write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    *out_ << line << '\n';
+}
+
+void StreamTraceSink::flush() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_->flush();
+}
+
+void StderrTraceSink::write_line(const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+FileTraceSink::FileTraceSink(const std::string& path) : out_(path) {
+    require_data(out_.good(), "cannot open trace output file '" + path + "'");
+}
+
+void FileTraceSink::write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << '\n';
+}
+
+void FileTraceSink::flush() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_.flush();
+}
+
+std::shared_ptr<TraceSink> open_trace_sink(const std::string& spec) {
+    if (spec.empty() || spec == "null") return std::make_shared<NullTraceSink>();
+    if (spec == "-") return std::make_shared<StderrTraceSink>();
+    return std::make_shared<FileTraceSink>(spec);
+}
+
+std::shared_ptr<TraceSink> set_global_trace_sink(std::shared_ptr<TraceSink> sink) {
+    if (!sink) sink = std::make_shared<NullTraceSink>();
+    const std::lock_guard<std::mutex> lock(global_sink_mutex());
+    std::swap(global_sink_slot(), sink);
+    return sink;  // the previous sink
+}
+
+std::shared_ptr<TraceSink> global_trace_sink() {
+    const std::lock_guard<std::mutex> lock(global_sink_mutex());
+    return global_sink_slot();
+}
+
+double trace_clock_seconds() {
+    static const Stopwatch epoch;
+    return epoch.seconds();
+}
+
+int current_trace_depth() noexcept { return t_span_depth; }
+
+TraceSpan::TraceSpan(std::string_view name) { open(name); }
+
+TraceSpan::TraceSpan(std::shared_ptr<TraceSink> sink, std::string_view name)
+    : sink_(std::move(sink)) {
+    open(name);
+}
+
+void TraceSpan::open(std::string_view name) {
+    depth_ = t_span_depth++;
+    if (!sink_) sink_ = global_trace_sink();
+    emit_ = sink_ && sink_->enabled();
+    if (!emit_) return;
+    name_ = name;
+    start_t_ = trace_clock_seconds();
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("span_begin");
+    w.key("name").value(name_);
+    w.key("depth").value(static_cast<std::int64_t>(depth_));
+    w.key("t").value(start_t_);
+    w.end_object();
+    sink_->write_line(w.str());
+    watch_.restart();  // exclude our own formatting from the measured span
+}
+
+TraceSpan::~TraceSpan() {
+    --t_span_depth;
+    if (!emit_) return;
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("span_end");
+    w.key("name").value(name_);
+    w.key("depth").value(static_cast<std::int64_t>(depth_));
+    w.key("t").value(trace_clock_seconds());
+    w.key("dur_s").value(watch_.seconds());
+    if (!attrs_.empty()) {
+        w.key("attrs").begin_object();
+        for (const auto& [key, token] : attrs_) w.key(key).raw(token);
+        w.end_object();
+    }
+    w.end_object();
+    sink_->write_line(w.str());
+}
+
+TraceSpan& TraceSpan::attr(std::string_view key, std::string_view value) {
+    if (emit_) attrs_.emplace_back(key, '"' + json_escape(value) + '"');
+    return *this;
+}
+
+TraceSpan& TraceSpan::attr(std::string_view key, std::uint64_t value) {
+    if (emit_) attrs_.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+TraceSpan& TraceSpan::attr(std::string_view key, std::int64_t value) {
+    if (emit_) attrs_.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+TraceSpan& TraceSpan::attr(std::string_view key, double value) {
+    if (emit_) attrs_.emplace_back(key, json_number(value));
+    return *this;
+}
+
+TraceSpan& TraceSpan::attr(std::string_view key, bool value) {
+    if (emit_) attrs_.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+}  // namespace adiv

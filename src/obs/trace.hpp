@@ -1,0 +1,145 @@
+// Structured trace events: RAII spans streamed as JSON-lines.
+//
+// A TraceSpan brackets a unit of work. On construction it emits a
+// `span_begin` line, on destruction a `span_end` line carrying the wall-time
+// duration (measured with util/Stopwatch) and any key=value attributes
+// attached in between. Nesting depth is tracked per thread, so the flat
+// line stream reconstructs the call tree:
+//
+//   {"type":"span_begin","name":"experiment.map","depth":0,"t":0.001}
+//   {"type":"span_begin","name":"experiment.train","depth":1,"t":0.002}
+//   {"type":"span_end","name":"experiment.train","depth":1,...,"dur_s":0.41}
+//   ...
+//
+// Lines go to a pluggable TraceSink. The process-global sink defaults to a
+// null sink; when it is null, spans skip all formatting, so instrumentation
+// left in hot paths costs two thread-local increments and a clock read.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace adiv {
+
+/// Destination for JSON-lines trace output. Implementations must be safe to
+/// call from multiple threads.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+
+    /// Writes one line (no trailing newline in `line`).
+    virtual void write_line(const std::string& line) = 0;
+
+    /// False when writes are discarded — producers skip formatting entirely.
+    [[nodiscard]] virtual bool enabled() const noexcept { return true; }
+
+    virtual void flush() {}
+};
+
+/// Discards everything; the default global sink.
+class NullTraceSink final : public TraceSink {
+public:
+    void write_line(const std::string&) override {}
+    [[nodiscard]] bool enabled() const noexcept override { return false; }
+};
+
+/// Writes to a caller-owned ostream (which must outlive the sink).
+class StreamTraceSink final : public TraceSink {
+public:
+    explicit StreamTraceSink(std::ostream& out) : out_(&out) {}
+    void write_line(const std::string& line) override;
+    void flush() override;
+
+private:
+    std::mutex mutex_;
+    std::ostream* out_;
+};
+
+/// Writes to stderr (line-buffered via fprintf, safe across processes).
+class StderrTraceSink final : public TraceSink {
+public:
+    void write_line(const std::string& line) override;
+};
+
+/// Owns an output file. Throws DataError when the file cannot be opened.
+class FileTraceSink final : public TraceSink {
+public:
+    explicit FileTraceSink(const std::string& path);
+    void write_line(const std::string& line) override;
+    void flush() override;
+
+private:
+    std::mutex mutex_;
+    std::ofstream out_;
+};
+
+/// Builds a sink from a CLI spec: "" or "null" -> null sink, "-" -> stderr,
+/// anything else -> file at that path.
+std::shared_ptr<TraceSink> open_trace_sink(const std::string& spec);
+
+/// Global sink used by spans constructed without an explicit sink. Passing
+/// nullptr restores the null sink. Returns the previous sink.
+std::shared_ptr<TraceSink> set_global_trace_sink(std::shared_ptr<TraceSink> sink);
+std::shared_ptr<TraceSink> global_trace_sink();
+
+/// Seconds since the first call in this process; the spans' shared "t" axis.
+double trace_clock_seconds();
+
+/// Current per-thread span nesting depth (0 outside any span).
+int current_trace_depth() noexcept;
+
+/// RAII span; see file comment. Not copyable or movable — bind it to a scope.
+class TraceSpan {
+public:
+    explicit TraceSpan(std::string_view name);
+    TraceSpan(std::shared_ptr<TraceSink> sink, std::string_view name);
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+    ~TraceSpan();
+
+    /// Attaches a key=value attribute, emitted with the span_end line.
+    TraceSpan& attr(std::string_view key, std::string_view value);
+    TraceSpan& attr(std::string_view key, const char* value) {
+        return attr(key, std::string_view(value));
+    }
+    TraceSpan& attr(std::string_view key, const std::string& value) {
+        return attr(key, std::string_view(value));
+    }
+    TraceSpan& attr(std::string_view key, std::uint64_t value);
+    TraceSpan& attr(std::string_view key, std::int64_t value);
+    TraceSpan& attr(std::string_view key, int value) {
+        return attr(key, static_cast<std::int64_t>(value));
+    }
+    TraceSpan& attr(std::string_view key, double value);
+    TraceSpan& attr(std::string_view key, bool value);
+
+    /// The nesting depth this span was opened at.
+    [[nodiscard]] int depth() const noexcept { return depth_; }
+
+    /// Wall time since the span opened, in seconds.
+    [[nodiscard]] double elapsed_seconds() const noexcept { return watch_.seconds(); }
+
+private:
+    void open(std::string_view name);
+
+    std::shared_ptr<TraceSink> sink_;
+    std::string name_;
+    // Attribute values pre-rendered as JSON tokens, so heterogenous types
+    // share one vector.
+    std::vector<std::pair<std::string, std::string>> attrs_;
+    Stopwatch watch_;
+    double start_t_ = 0.0;
+    int depth_ = 0;
+    bool emit_ = false;
+};
+
+}  // namespace adiv

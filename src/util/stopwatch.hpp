@@ -8,9 +8,9 @@ namespace adiv {
 /// Monotonic stopwatch; starts on construction.
 class Stopwatch {
 public:
-    Stopwatch() noexcept : start_(clock::now()) {}
+    Stopwatch() noexcept : start_(clock::now()), lap_(start_) {}
 
-    void restart() noexcept { start_ = clock::now(); }
+    void restart() noexcept { start_ = lap_ = clock::now(); }
 
     [[nodiscard]] double seconds() const noexcept {
         return std::chrono::duration<double>(clock::now() - start_).count();
@@ -18,9 +18,19 @@ public:
 
     [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
 
+    /// Seconds since the last lap() (or construction/restart), and starts
+    /// the next lap. Does not disturb the total measured by seconds().
+    [[nodiscard]] double lap() noexcept {
+        const clock::time_point now = clock::now();
+        const double elapsed = std::chrono::duration<double>(now - lap_).count();
+        lap_ = now;
+        return elapsed;
+    }
+
 private:
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
+    clock::time_point lap_;
 };
 
 }  // namespace adiv

@@ -1,0 +1,191 @@
+// End-to-end check of the acceptance criterion for the observability layer:
+// running `adiv_score --metrics - --trace trace.jsonl` emits the run
+// manifest as the first trace line, at least one nested span pair per scored
+// window batch, and a final metrics dump carrying online.events_consumed,
+// the push-latency percentiles, and the alarm-rate gauge.
+//
+// The tool binaries are located via ADIV_TRAIN_TOOL / ADIV_SCORE_TOOL
+// compile definitions (set from tests/CMakeLists.txt when the tools are part
+// of the build); without them the tests skip.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/stream_io.hpp"
+#include "support/corpus_fixture.hpp"
+
+namespace adiv {
+namespace {
+
+#if defined(ADIV_TRAIN_TOOL) && defined(ADIV_SCORE_TOOL)
+
+std::string quoted(const std::string& path) { return "'" + path + "'"; }
+
+int run_command(const std::string& command) {
+    const int status = std::system(command.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+class ObservabilityCli : public ::testing::Test {
+protected:
+    // Train once for the whole fixture: write a training stream from the
+    // shared corpus, fit a stide model with the real tool.
+    static void SetUpTestSuite() {
+        dir_ = new std::string(::testing::TempDir() + "adiv_obs_cli/");
+        std::filesystem::create_directories(*dir_);
+        save_stream_file(test::small_corpus().generate_heldout(20'000, 11),
+                         *dir_ + "train.stream");
+        save_stream_file(test::small_corpus().generate_heldout(6'000, 13),
+                         *dir_ + "test.stream");
+        const std::string train_log = *dir_ + "train_stdout.txt";
+        const int rc = run_command(
+            std::string(ADIV_TRAIN_TOOL) + " --detector stide --window 6" +
+            " --input " + quoted(*dir_ + "train.stream") +
+            " --out " + quoted(*dir_ + "model.adiv") +
+            " --trace " + quoted(*dir_ + "train_trace.jsonl") +
+            " --metrics - > " + quoted(train_log));
+        ASSERT_EQ(rc, 0) << read_file(train_log);
+    }
+
+    static void TearDownTestSuite() {
+        delete dir_;
+        dir_ = nullptr;
+    }
+
+    static std::string* dir_;
+};
+
+std::string* ObservabilityCli::dir_ = nullptr;
+
+TEST_F(ObservabilityCli, TrainEmitsManifestSpanAndMetrics) {
+    const auto trace = read_lines(*dir_ + "train_trace.jsonl");
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.front().find("{\"type\":\"manifest\""), 0u);
+    EXPECT_NE(trace.front().find("\"tool\":\"adiv_train\""), std::string::npos);
+    EXPECT_NE(trace.front().find("\"detector\":\"stide\""), std::string::npos);
+
+    const std::string joined = read_file(*dir_ + "train_trace.jsonl");
+    EXPECT_NE(joined.find("\"name\":\"detect.train\""), std::string::npos);
+    EXPECT_NE(joined.find("\"type\":\"span_end\""), std::string::npos);
+
+    const std::string stdout_text = read_file(*dir_ + "train_stdout.txt");
+    EXPECT_NE(stdout_text.find("detect.train_calls"), std::string::npos);
+    EXPECT_NE(stdout_text.find("detect.train_events"), std::string::npos);
+    EXPECT_NE(stdout_text.find("\"counters\""), std::string::npos)
+        << "--metrics - should dump machine JSON to stdout";
+}
+
+TEST_F(ObservabilityCli, ScoreEmitsManifestNestedSpansAndMetrics) {
+    const std::string trace_path = *dir_ + "score_trace.jsonl";
+    const std::string log_path = *dir_ + "score_stdout.txt";
+    const int rc = run_command(
+        std::string(ADIV_SCORE_TOOL) + " --model " + quoted(*dir_ + "model.adiv") +
+        " --input " + quoted(*dir_ + "test.stream") + " --batch 1000" +
+        " --trace " + quoted(trace_path) + " --metrics - > " + quoted(log_path));
+    ASSERT_TRUE(rc == 0 || rc == 2) << read_file(log_path);  // 2 = alarms fired
+
+    const auto trace = read_lines(trace_path);
+    ASSERT_FALSE(trace.empty());
+    // Manifest first.
+    EXPECT_EQ(trace.front().find("{\"type\":\"manifest\""), 0u);
+    EXPECT_NE(trace.front().find("\"tool\":\"adiv_score\""), std::string::npos);
+    EXPECT_NE(trace.front().find("\"detector\":\"stide\""), std::string::npos);
+    EXPECT_NE(trace.front().find("\"min_window\":6"), std::string::npos);
+
+    // 6000 events in batches of 1000 -> 6 score.batch spans at depth 0, each
+    // holding nested detect.score spans at depth 1.
+    const std::string joined = read_file(trace_path);
+    EXPECT_EQ(count_occurrences(
+                  joined, "\"type\":\"span_begin\",\"name\":\"score.batch\",\"depth\":0"),
+              6u);
+    EXPECT_GE(count_occurrences(
+                  joined, "\"type\":\"span_begin\",\"name\":\"detect.score\",\"depth\":1"),
+              6u);
+    EXPECT_EQ(count_occurrences(joined, "\"name\":\"score.batch\""),
+              count_occurrences(joined, "\"type\":\"span_begin\",\"name\":\"score.batch\"") * 2)
+        << "every batch span must close";
+    EXPECT_NE(joined.find("\"windows_scored\""), std::string::npos);
+
+    // Final metrics dump: human table and machine JSON on stdout.
+    const std::string stdout_text = read_file(log_path);
+    EXPECT_NE(stdout_text.find("-- metrics --"), std::string::npos);
+    EXPECT_NE(stdout_text.find("online.events_consumed"), std::string::npos);
+    EXPECT_NE(stdout_text.find("6000"), std::string::npos);
+    EXPECT_NE(stdout_text.find("online.alarm_rate"), std::string::npos);
+    EXPECT_NE(stdout_text.find("online.push_latency_us"), std::string::npos);
+    EXPECT_NE(stdout_text.find("p50"), std::string::npos);
+    EXPECT_NE(stdout_text.find("p99"), std::string::npos);
+    EXPECT_NE(stdout_text.find("\"online.events_consumed\":6000"), std::string::npos);
+    EXPECT_NE(stdout_text.find("\"online.push_latency_us\":{\"count\":6000"),
+              std::string::npos);
+}
+
+TEST_F(ObservabilityCli, MetricsFileReceivesJsonDump) {
+    const std::string metrics_path = *dir_ + "metrics.json";
+    const std::string log_path = *dir_ + "score_file_stdout.txt";
+    const int rc = run_command(
+        std::string(ADIV_SCORE_TOOL) + " --model " + quoted(*dir_ + "model.adiv") +
+        " --input " + quoted(*dir_ + "test.stream") +
+        " --metrics " + quoted(metrics_path) + " > " + quoted(log_path));
+    ASSERT_TRUE(rc == 0 || rc == 2) << read_file(log_path);
+    const std::string json = read_file(metrics_path);
+    EXPECT_EQ(json.find("{\"counters\":"), 0u);
+    EXPECT_NE(json.find("\"online.events_consumed\":6000"), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"online.alarm_rate\":"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+}
+
+TEST_F(ObservabilityCli, WithoutFlagsNoTraceOrMetricsAppear) {
+    const std::string log_path = *dir_ + "score_plain_stdout.txt";
+    const int rc = run_command(
+        std::string(ADIV_SCORE_TOOL) + " --model " + quoted(*dir_ + "model.adiv") +
+        " --input " + quoted(*dir_ + "test.stream") + " > " + quoted(log_path));
+    ASSERT_TRUE(rc == 0 || rc == 2) << read_file(log_path);
+    const std::string stdout_text = read_file(log_path);
+    EXPECT_EQ(stdout_text.find("-- metrics --"), std::string::npos);
+    EXPECT_EQ(stdout_text.find("span_begin"), std::string::npos);
+}
+
+#else  // tool paths not provided by the build
+
+TEST(ObservabilityCli, DISABLED_ToolsNotBuilt) {
+    GTEST_SKIP() << "adiv_train/adiv_score were not part of this build";
+}
+
+#endif
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,100 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace adiv {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+    EXPECT_EQ(json_escape("stide"), "stide");
+    EXPECT_EQ(json_escape(""), "");
+    EXPECT_EQ(json_escape("a b c"), "a b c");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+    EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(json_escape("C:\\path"), "C:\\\\path");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+    EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+    EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+    EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+    EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+    EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, EscapesOtherControlCharactersAsUnicode) {
+    EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+    EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+    EXPECT_EQ(json_escape(std::string_view("\0", 1)), "\\u0000");
+}
+
+TEST(JsonEscape, PassesUtf8PayloadThrough) {
+    // Multi-byte sequences are not control characters; they stay readable.
+    EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumber, FiniteValues) {
+    EXPECT_EQ(json_number(0.0), "0");
+    EXPECT_EQ(json_number(42.0), "42");
+    EXPECT_EQ(json_number(-1.5), "-1.5");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+    EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonWriter, FlatObject) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("name").value("stide");
+    w.key("n").value(std::uint64_t{42});
+    w.key("x").value(1.5);
+    w.key("ok").value(true);
+    w.end_object();
+    EXPECT_EQ(w.str(), R"({"name":"stide","n":42,"x":1.5,"ok":true})");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("inner").begin_object().key("a").value(1).end_object();
+    w.key("list").begin_array().value(1).value(2).end_array();
+    w.end_object();
+    EXPECT_EQ(w.str(), R"({"inner":{"a":1},"list":[1,2]})");
+}
+
+TEST(JsonWriter, EscapesKeysAndValues) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("a\"b").value("line1\nline2");
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\"a\\\"b\":\"line1\\nline2\"}");
+}
+
+TEST(JsonWriter, RawTokenInsertedVerbatim) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("doc").raw(R"({"pre":"rendered"})");
+    w.key("after").value(1);
+    w.end_object();
+    EXPECT_EQ(w.str(), R"({"doc":{"pre":"rendered"},"after":1})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+    JsonWriter obj;
+    obj.begin_object().end_object();
+    EXPECT_EQ(obj.str(), "{}");
+    JsonWriter arr;
+    arr.begin_array().end_array();
+    EXPECT_EQ(arr.str(), "[]");
+}
+
+}  // namespace
+}  // namespace adiv

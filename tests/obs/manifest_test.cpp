@@ -1,0 +1,110 @@
+#include "obs/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+RunManifest sample_manifest() {
+    RunManifest m;
+    m.tool = "adiv_score";
+    m.detector = "markov";
+    m.build_type = "RelWithDebInfo";
+    m.timestamp = "2026-08-07T12:00:00Z";
+    m.seed = 20050628;
+    m.alphabet_size = 8;
+    m.training_length = 1'000'000;
+    m.deviation_rate = 0.01;
+    m.deviation_targets = 2;
+    m.rare_threshold = 0.001;
+    m.min_anomaly_size = 2;
+    m.max_anomaly_size = 9;
+    m.min_window = 2;
+    m.max_window = 15;
+    return m;
+}
+
+TEST(RunManifest, MakeManifestFillsProvenanceFields) {
+    const RunManifest m = make_manifest("adiv_train");
+    EXPECT_EQ(m.tool, "adiv_train");
+    EXPECT_FALSE(m.build_type.empty());
+    // ISO-8601 UTC shape: YYYY-MM-DDTHH:MM:SSZ.
+    ASSERT_EQ(m.timestamp.size(), 20u);
+    EXPECT_EQ(m.timestamp[4], '-');
+    EXPECT_EQ(m.timestamp[10], 'T');
+    EXPECT_EQ(m.timestamp.back(), 'Z');
+}
+
+TEST(RunManifest, TextSerializerRoundTrip) {
+    const RunManifest m = sample_manifest();
+    std::ostringstream out;
+    save_manifest(m, out);
+    std::istringstream in(out.str());
+    const RunManifest r = load_manifest(in);
+    EXPECT_EQ(r.tool, m.tool);
+    EXPECT_EQ(r.detector, m.detector);
+    EXPECT_EQ(r.build_type, m.build_type);
+    EXPECT_EQ(r.timestamp, m.timestamp);
+    EXPECT_EQ(r.seed, m.seed);
+    EXPECT_EQ(r.alphabet_size, m.alphabet_size);
+    EXPECT_EQ(r.training_length, m.training_length);
+    EXPECT_DOUBLE_EQ(r.deviation_rate, m.deviation_rate);
+    EXPECT_EQ(r.deviation_targets, m.deviation_targets);
+    EXPECT_DOUBLE_EQ(r.rare_threshold, m.rare_threshold);
+    EXPECT_EQ(r.min_anomaly_size, m.min_anomaly_size);
+    EXPECT_EQ(r.max_anomaly_size, m.max_anomaly_size);
+    EXPECT_EQ(r.min_window, m.min_window);
+    EXPECT_EQ(r.max_window, m.max_window);
+}
+
+TEST(RunManifest, EmptyStringsRoundTripAsEmpty) {
+    RunManifest m;  // all strings empty, all numbers zero
+    std::ostringstream out;
+    save_manifest(m, out);
+    std::istringstream in(out.str());
+    const RunManifest r = load_manifest(in);
+    EXPECT_EQ(r.tool, "");
+    EXPECT_EQ(r.detector, "");
+    EXPECT_EQ(r.build_type, "");
+    EXPECT_EQ(r.timestamp, "");
+}
+
+TEST(RunManifest, WhitespaceInStringsIsNeutralized) {
+    // Strings are single tokens in the text format; embedded whitespace is
+    // mapped to '_' so the record still parses.
+    RunManifest m = sample_manifest();
+    m.detector = "my detector";
+    std::ostringstream out;
+    save_manifest(m, out);
+    std::istringstream in(out.str());
+    EXPECT_EQ(load_manifest(in).detector, "my_detector");
+}
+
+TEST(RunManifest, LoadRejectsWrongHeader) {
+    std::istringstream bad_tag("adiv-model 1\n");
+    EXPECT_THROW((void)load_manifest(bad_tag), DataError);
+    std::istringstream bad_version("adiv-manifest 2\n");
+    EXPECT_THROW((void)load_manifest(bad_version), DataError);
+}
+
+TEST(RunManifest, JsonLineShape) {
+    const std::string line = manifest_json_line(sample_manifest());
+    EXPECT_EQ(line.find("{\"type\":\"manifest\""), 0u);
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);  // a single JSON line
+    EXPECT_NE(line.find("\"tool\":\"adiv_score\""), std::string::npos);
+    EXPECT_NE(line.find("\"detector\":\"markov\""), std::string::npos);
+    EXPECT_NE(line.find("\"seed\":20050628"), std::string::npos);
+    EXPECT_NE(line.find("\"alphabet_size\":8"), std::string::npos);
+    EXPECT_NE(line.find("\"training_length\":1000000"), std::string::npos);
+    EXPECT_NE(line.find("\"deviation_rate\":0.01"), std::string::npos);
+    EXPECT_NE(line.find("\"min_window\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"max_window\":15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+    EXPECT_THROW(Histogram(std::vector<double>{}), InvalidArgument);
+    EXPECT_THROW(Histogram({3.0, 2.0, 1.0}), InvalidArgument);
+    EXPECT_THROW(Histogram({1.0, 1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+    const Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Histogram, SingleSampleIsReportedExactly) {
+    // The percentile estimate is clamped to the observed [min, max], so with
+    // one sample every percentile IS that sample, despite bucketing.
+    Histogram h;
+    h.record(3.7);
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.min, 3.7);
+    EXPECT_DOUBLE_EQ(s.max, 3.7);
+    EXPECT_DOUBLE_EQ(s.mean, 3.7);
+    EXPECT_DOUBLE_EQ(s.p50, 3.7);
+    EXPECT_DOUBLE_EQ(s.p95, 3.7);
+    EXPECT_DOUBLE_EQ(s.p99, 3.7);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.7);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.7);
+}
+
+TEST(Histogram, TracksSumMinMax) {
+    Histogram h({10.0, 100.0});
+    h.record(5.0);
+    h.record(50.0);
+    h.record(500.0);  // overflow bucket
+    const HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.sum, 555.0);
+    EXPECT_DOUBLE_EQ(s.mean, 185.0);
+    EXPECT_DOUBLE_EQ(s.min, 5.0);
+    EXPECT_DOUBLE_EQ(s.max, 500.0);
+}
+
+TEST(Histogram, PercentilesLandInTheRightBucket) {
+    // 100 samples in (0,10], 0 elsewhere below, 100 in (10,20].
+    Histogram h({10.0, 20.0, 30.0});
+    for (int i = 0; i < 100; ++i) h.record(5.0);
+    for (int i = 0; i < 100; ++i) h.record(15.0);
+    // Rank 100 lands exactly at the top of the first bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    // Rank 198 interpolates into the second bucket (10 + 9.8) but the
+    // estimate is clamped to the observed max of 15.
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 15.0);
+    // q=1 is the observed max.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 15.0);
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+    // Every sample is 12, all in bucket (10,20]; interpolation would report
+    // values spread over the bucket but the clamp pins them to 12.
+    Histogram h({10.0, 20.0});
+    for (int i = 0; i < 10; ++i) h.record(12.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 12.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 12.0);
+}
+
+TEST(Histogram, RejectsOutOfRangeRank) {
+    Histogram h;
+    h.record(1.0);
+    EXPECT_THROW((void)h.percentile(-0.1), InvalidArgument);
+    EXPECT_THROW((void)h.percentile(1.1), InvalidArgument);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+    Histogram h;
+    h.record(4.0);
+    h.record(8.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    h.record(2.0);  // still usable; min/max re-seed from the new sample
+    EXPECT_DOUBLE_EQ(h.summary().min, 2.0);
+    EXPECT_DOUBLE_EQ(h.summary().max, 2.0);
+}
+
+TEST(Histogram, DefaultLatencyBucketsAreAscending) {
+    const auto bounds = Histogram::latency_buckets_us();
+    ASSERT_FALSE(bounds.empty());
+    EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+    EXPECT_DOUBLE_EQ(bounds.back(), 1e6);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(MetricsRegistry, LookupCreatesOnceAndStaysStable) {
+    MetricsRegistry reg;
+    Counter& a = reg.counter("events");
+    Counter& b = reg.counter("events");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(reg.counter("events").value(), 7u);
+    EXPECT_NE(&reg.counter("events"), &reg.counter("other"));
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.find_counter("missing"), nullptr);
+    EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+    EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+    reg.counter("present").add();
+    ASSERT_NE(reg.find_counter("present"), nullptr);
+    EXPECT_EQ(reg.find_counter("present")->value(), 1u);
+    EXPECT_TRUE(reg.snapshot().gauges.empty());
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+    MetricsRegistry reg;
+    reg.counter("zebra").add(1);
+    reg.counter("apple").add(2);
+    reg.gauge("rate").set(0.5);
+    reg.histogram("lat").record(3.0);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "apple");
+    EXPECT_EQ(snap.counters[1].first, "zebra");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.5);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].second.count, 1u);
+    EXPECT_FALSE(snap.empty());
+    EXPECT_TRUE(MetricsRegistry().snapshot().empty());
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandlesValid) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("n");
+    Gauge& g = reg.gauge("x");
+    Histogram& h = reg.histogram("lat");
+    c.add(5);
+    g.set(1.0);
+    h.record(2.0);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    c.add(1);  // handle still live after reset
+    EXPECT_EQ(reg.find_counter("n")->value(), 1u);
+}
+
+TEST(MetricsRendering, TableListsEveryInstrument) {
+    MetricsRegistry reg;
+    reg.counter("online.events_consumed").add(100);
+    reg.gauge("online.alarm_rate").set(0.25);
+    reg.histogram("online.push_latency_us").record(4.0);
+    const std::string table = render_metrics_table(reg);
+    EXPECT_NE(table.find("online.events_consumed"), std::string::npos);
+    EXPECT_NE(table.find("100"), std::string::npos);
+    EXPECT_NE(table.find("online.alarm_rate"), std::string::npos);
+    EXPECT_NE(table.find("0.250000"), std::string::npos);
+    EXPECT_NE(table.find("online.push_latency_us"), std::string::npos);
+    EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+TEST(MetricsRendering, EmptyRegistrySaysSo) {
+    const MetricsRegistry reg;
+    EXPECT_EQ(render_metrics_table(reg), "(no metrics recorded)\n");
+}
+
+TEST(MetricsRendering, JsonCarriesAllKinds) {
+    MetricsRegistry reg;
+    reg.counter("c").add(3);
+    reg.gauge("g").set(1.5);
+    reg.histogram("h").record(10.0);
+    const std::string json = metrics_to_json(reg);
+    EXPECT_NE(json.find("\"counters\":{\"c\":3}"), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\":{\"g\":1.5}"), std::string::npos);
+    EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":10"), std::string::npos);
+}
+
+TEST(GlobalMetrics, IsAStableSingleton) {
+    EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+}  // namespace
+}  // namespace adiv

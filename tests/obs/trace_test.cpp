@@ -1,0 +1,154 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+TEST(TraceSpan, EmitsBeginAndEndLines) {
+    std::ostringstream out;
+    auto sink = std::make_shared<StreamTraceSink>(out);
+    {
+        TraceSpan span(sink, "unit.work");
+        span.attr("detector", "stide");
+    }
+    const auto lines = lines_of(out.str());
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"type\":\"span_begin\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"name\":\"unit.work\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"depth\":0"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"t\":"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"type\":\"span_end\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"dur_s\":"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"attrs\":{\"detector\":\"stide\"}"),
+              std::string::npos);
+}
+
+TEST(TraceSpan, NestedSpansTrackDepth) {
+    std::ostringstream out;
+    auto sink = std::make_shared<StreamTraceSink>(out);
+    EXPECT_EQ(current_trace_depth(), 0);
+    {
+        TraceSpan outer(sink, "outer");
+        EXPECT_EQ(outer.depth(), 0);
+        EXPECT_EQ(current_trace_depth(), 1);
+        {
+            TraceSpan inner(sink, "inner");
+            EXPECT_EQ(inner.depth(), 1);
+            EXPECT_EQ(current_trace_depth(), 2);
+        }
+        EXPECT_EQ(current_trace_depth(), 1);
+    }
+    EXPECT_EQ(current_trace_depth(), 0);
+    const auto lines = lines_of(out.str());
+    ASSERT_EQ(lines.size(), 4u);  // begin(outer), begin(inner), end(inner), end(outer)
+    EXPECT_NE(lines[0].find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"name\":\"inner\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"depth\":1"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"type\":\"span_end\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"name\":\"inner\""), std::string::npos);
+    EXPECT_NE(lines[3].find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(lines[3].find("\"depth\":0"), std::string::npos);
+}
+
+TEST(TraceSpan, AttributeTypesRenderAsJsonTokens) {
+    std::ostringstream out;
+    auto sink = std::make_shared<StreamTraceSink>(out);
+    {
+        TraceSpan span(sink, "typed");
+        span.attr("s", std::string("a\"b"))
+            .attr("u", std::uint64_t{42})
+            .attr("i", -7)
+            .attr("d", 2.5)
+            .attr("b", true);
+    }
+    const auto lines = lines_of(out.str());
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[1].find("\"s\":\"a\\\"b\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"u\":42"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"i\":-7"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"d\":2.5"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"b\":true"), std::string::npos);
+}
+
+TEST(TraceSpan, NullSinkSuppressesOutputButTracksDepth) {
+    auto sink = std::make_shared<NullTraceSink>();
+    EXPECT_FALSE(sink->enabled());
+    {
+        TraceSpan span(sink, "silent");
+        span.attr("k", "v");  // discarded without formatting
+        EXPECT_EQ(span.depth(), 0);
+        EXPECT_EQ(current_trace_depth(), 1);
+    }
+    EXPECT_EQ(current_trace_depth(), 0);
+}
+
+TEST(TraceSpan, UsesGlobalSinkWhenNoneGiven) {
+    std::ostringstream out;
+    auto previous = set_global_trace_sink(std::make_shared<StreamTraceSink>(out));
+    { TraceSpan span("global.work"); }
+    set_global_trace_sink(std::move(previous));
+    const auto lines = lines_of(out.str());
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"name\":\"global.work\""), std::string::npos);
+}
+
+TEST(GlobalTraceSink, DefaultsToNullAndSwapsAtomically) {
+    // The default global sink is disabled; installing and restoring returns
+    // the previous sink so sessions can nest.
+    auto custom = std::make_shared<StderrTraceSink>();
+    auto previous = set_global_trace_sink(custom);
+    EXPECT_EQ(global_trace_sink().get(), custom.get());
+    auto back = set_global_trace_sink(previous);
+    EXPECT_EQ(back.get(), custom.get());
+    // Passing nullptr restores a null (disabled) sink.
+    auto before = global_trace_sink();
+    auto prev2 = set_global_trace_sink(nullptr);
+    EXPECT_FALSE(global_trace_sink()->enabled());
+    set_global_trace_sink(before);
+    EXPECT_EQ(prev2.get(), before.get());
+}
+
+TEST(OpenTraceSink, SpecSelectsImplementation) {
+    EXPECT_FALSE(open_trace_sink("")->enabled());
+    EXPECT_FALSE(open_trace_sink("null")->enabled());
+    EXPECT_TRUE(open_trace_sink("-")->enabled());
+    const std::string path = ::testing::TempDir() + "adiv_trace_sink_test.jsonl";
+    auto file_sink = open_trace_sink(path);
+    ASSERT_TRUE(file_sink->enabled());
+    file_sink->write_line("{\"type\":\"probe\"}");
+    file_sink->flush();
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "{\"type\":\"probe\"}");
+}
+
+TEST(OpenTraceSink, UnwritablePathThrows) {
+    EXPECT_THROW((void)open_trace_sink("/nonexistent-dir/trace.jsonl"), DataError);
+}
+
+TEST(TraceClock, IsMonotonic) {
+    const double a = trace_clock_seconds();
+    const double b = trace_clock_seconds();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace adiv

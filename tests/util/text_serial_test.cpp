@@ -71,6 +71,19 @@ TEST(Stopwatch, MeasuresElapsedTime) {
     EXPECT_GE(sw.millis(), 0.0);
 }
 
+TEST(Stopwatch, LapMeasuresSinceLastLap) {
+    Stopwatch sw;
+    const double lap1 = sw.lap();
+    EXPECT_GE(lap1, 0.0);
+    const double lap2 = sw.lap();
+    EXPECT_GE(lap2, 0.0);
+    // Laps are disjoint intervals: their sum cannot exceed the total.
+    EXPECT_LE(lap1 + lap2, sw.seconds() + 1e-9);
+    // restart() resets the lap origin along with the start time.
+    sw.restart();
+    EXPECT_LT(sw.lap(), 1.0);
+}
+
 TEST(ErrorHelpers, RequireThrowsWithMessage) {
     EXPECT_NO_THROW(require(true, "fine"));
     try {

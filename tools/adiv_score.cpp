@@ -1,7 +1,18 @@
 // adiv_score: score a trace file with a persisted model and print the alarm
 // report.
 //
-//   adiv_score --model m.adiv --trace session.trace [--threshold 1.0]
+//   adiv_score --model m.adiv --input session.trace [--threshold 1.0]
+//
+// Scoring runs through the online scorer (core/online.hpp) in batches, the
+// deployment-facing path: identical to batch score() for the window-local
+// detectors, bounded-horizon for the HMM.
+//
+// Observability: --trace PATH streams JSON-lines spans — the run manifest
+// first, then one score.batch span per window batch with the instrumented
+// detect.score spans nested inside. --metrics PATH dumps the final metrics
+// (online.events_consumed, online.push_latency_us percentiles,
+// online.alarm_rate, ...) as a human table on stdout and machine JSON to
+// PATH ('-' = stdout).
 //
 // Exit status: 0 when no alarms fire, 2 when at least one alarm event fires
 // (scriptable), 1 on errors.
@@ -15,16 +26,21 @@ using namespace adiv;
 int main(int argc, char** argv) {
     CliParser cli("adiv_score", "score a trace with a saved model");
     cli.add_option("model", "model.adiv", "model file from adiv_train");
-    cli.add_option("trace", "", "input adiv-trace or adiv-stream file");
+    cli.add_option("input", "", "input adiv-trace or adiv-stream file");
     cli.add_option("threshold", "0.999999999",
                    "alarm when response >= threshold (1.0 = maximal only)");
+    cli.add_option("batch", "1024", "events per scored window batch (trace span)");
     cli.add_flag("csv", "emit per-window responses as CSV instead of a report");
+    add_observability_options(cli);
     try {
         if (!cli.parse(argc, argv)) return 0;
-        const std::string trace_path = cli.get("trace");
-        require(!trace_path.empty(), "--trace is required");
+        const std::string input_path = cli.get("input");
+        require(!input_path.empty(), "--input is required");
+        const std::size_t batch_size =
+            static_cast<std::size_t>(cli.get_int("batch"));
+        require(batch_size >= 1, "--batch must be at least 1");
 
-        const auto detector = load_detector_file(cli.get("model"));
+        const auto detector = instrument(load_detector_file(cli.get("model")));
         std::printf("# model: %s, DW=%zu, alphabet=%zu\n",
                     detector->name().c_str(), detector->window_length(),
                     detector->alphabet_size());
@@ -32,20 +48,41 @@ int main(int argc, char** argv) {
         EventStream test;
         std::optional<Alphabet> alphabet;
         {
-            std::ifstream probe(trace_path);
-            require_data(probe.good(), "cannot open '" + trace_path + "'");
+            std::ifstream probe(input_path);
+            require_data(probe.good(), "cannot open '" + input_path + "'");
             std::string tag;
             probe >> tag;
             if (tag == "adiv-trace") {
-                auto [names, stream] = load_trace_file(trace_path);
+                auto [names, stream] = load_trace_file(input_path);
                 alphabet.emplace(std::move(names));
                 test = std::move(stream);
             } else {
-                test = load_stream_file(trace_path);
+                test = load_stream_file(input_path);
             }
         }
 
-        const auto responses = detector->score(test);
+        RunManifest manifest = make_manifest("adiv_score");
+        manifest.detector = detector->name();
+        manifest.alphabet_size = detector->alphabet_size();
+        manifest.min_window = manifest.max_window = detector->window_length();
+        ObsSession obs(cli, std::move(manifest));
+
+        OnlineScorer scorer(*detector);
+        std::vector<double> responses;
+        responses.reserve(test.size());
+        const Sequence& events_in = test.events();
+        for (std::size_t start = 0; start < events_in.size(); start += batch_size) {
+            const std::size_t end = std::min(events_in.size(), start + batch_size);
+            TraceSpan batch_span("score.batch");
+            batch_span.attr("batch", static_cast<std::uint64_t>(start / batch_size))
+                .attr("events", static_cast<std::uint64_t>(end - start));
+            for (std::size_t i = start; i < end; ++i)
+                if (const auto response = scorer.push(events_in[i]))
+                    responses.push_back(*response);
+            batch_span.attr("windows_scored",
+                            static_cast<std::uint64_t>(responses.size()));
+        }
+
         if (cli.get_flag("csv")) {
             std::printf("window,response\n");
             for (std::size_t i = 0; i < responses.size(); ++i)

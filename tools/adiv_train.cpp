@@ -1,10 +1,14 @@
 // adiv_train: fit a detector on a trace file and persist the model.
 //
-//   adiv_train --detector markov --window 6 --trace server.trace --out m.adiv
+//   adiv_train --detector markov --window 6 --input server.trace --out m.adiv
 //
-// The trace file is either an `adiv-trace` (named symbols) or `adiv-stream`
+// The input file is either an `adiv-trace` (named symbols) or `adiv-stream`
 // (raw ids) file; see io/stream_io.hpp. Use --demo-trace to write a sample
 // trace to experiment with.
+//
+// Observability: --trace PATH streams JSON-lines spans (manifest first line,
+// then the detect.train span), --metrics PATH dumps the final metrics
+// (human table to stdout, machine JSON to PATH; '-' = stdout).
 #include <cstdio>
 #include <fstream>
 
@@ -18,11 +22,12 @@ int main(int argc, char** argv) {
                    "stide | t-stide | markov | lane-brodley | neural-net | hmm "
                    "| rule | lookahead-pairs");
     cli.add_option("window", "6", "detector window (DW)");
-    cli.add_option("trace", "", "input adiv-trace or adiv-stream file");
+    cli.add_option("input", "", "input adiv-trace or adiv-stream file");
     cli.add_option("out", "model.adiv", "output model path");
     cli.add_option("floor", "0.005", "probability floor (probabilistic kinds)");
     cli.add_option("demo-trace", "",
                    "write a 100k-event demo syscall trace to PATH and exit");
+    add_observability_options(cli);
     try {
         if (!cli.parse(argc, argv)) return 0;
 
@@ -33,20 +38,20 @@ int main(int argc, char** argv) {
             return 0;
         }
 
-        const std::string trace_path = cli.get("trace");
-        require(!trace_path.empty(), "--trace is required (or use --demo-trace)");
+        const std::string input_path = cli.get("input");
+        require(!input_path.empty(), "--input is required (or use --demo-trace)");
 
         // Accept either file format: peek the header tag.
         EventStream training;
         {
-            std::ifstream probe(trace_path);
-            require_data(probe.good(), "cannot open '" + trace_path + "'");
+            std::ifstream probe(input_path);
+            require_data(probe.good(), "cannot open '" + input_path + "'");
             std::string tag;
             probe >> tag;
             if (tag == "adiv-trace") {
-                training = load_trace_file(trace_path).second;
+                training = load_trace_file(input_path).second;
             } else {
-                training = load_stream_file(trace_path);
+                training = load_stream_file(input_path);
             }
         }
         std::printf("training data: %zu events, alphabet %zu\n", training.size(),
@@ -57,9 +62,16 @@ int main(int argc, char** argv) {
         settings.nn.probability_floor = cli.get_double("floor");
         settings.hmm.probability_floor = cli.get_double("floor");
         settings.rule.probability_floor = cli.get_double("floor");
-        auto detector = make_detector(
-            detector_kind_from_string(cli.get("detector")),
-            static_cast<std::size_t>(cli.get_int("window")), settings);
+        const std::size_t window = static_cast<std::size_t>(cli.get_int("window"));
+        auto detector = instrument(make_detector(
+            detector_kind_from_string(cli.get("detector")), window, settings));
+
+        RunManifest manifest = make_manifest("adiv_train");
+        manifest.detector = detector->name();
+        manifest.alphabet_size = training.alphabet_size();
+        manifest.training_length = training.size();
+        manifest.min_window = manifest.max_window = window;
+        ObsSession obs(cli, std::move(manifest));
 
         Stopwatch sw;
         detector->train(training);

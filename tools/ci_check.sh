@@ -1,0 +1,35 @@
+#!/bin/sh
+# Tier-1 gate plus an optional sanitizer pass.
+#
+#   tools/ci_check.sh              # configure, build, ctest (build/)
+#   tools/ci_check.sh --sanitize   # also build + run tests under ASan/UBSan
+#                                  # (build-san/, slower)
+#
+# Exits non-zero on the first failure. Run from the repository root.
+set -eu
+
+jobs=$(nproc 2>/dev/null || echo 2)
+sanitize=0
+for arg in "$@"; do
+    case "$arg" in
+        --sanitize) sanitize=1 ;;
+        *) echo "usage: tools/ci_check.sh [--sanitize]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [ "$sanitize" -eq 1 ]; then
+    echo "== sanitizer pass: address,undefined =="
+    cmake -B build-san -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DADIV_SANITIZE=address,undefined \
+        -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
+    cmake --build build-san -j "$jobs"
+    (cd build-san && ctest --output-on-failure -j "$jobs")
+fi
+
+echo "== ci_check: OK =="
