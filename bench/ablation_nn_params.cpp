@@ -11,11 +11,10 @@
 // The grid here uses a reduced window range to keep the sweep tractable.
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "common.hpp"
-#include "core/experiment.hpp"
 #include "detect/registry.hpp"
-#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -50,21 +49,32 @@ int main(int argc, char** argv) {
     };
 
     bench::banner("NN detector map coverage per hyper-parameter setting");
-    TextTable table;
-    table.header({"setting", "capable", "weak", "blind", "seconds"});
-    const std::size_t cells = suite.entry_count();
-    Stopwatch sw;
+    // One plan, one detector per hyper-parameter variant; --jobs trains the
+    // networks of different (variant, window) columns concurrently.
+    ExperimentPlan plan(suite);
     for (const Variant& v : variants) {
         DetectorSettings settings;
         settings.nn.hidden_units = v.hidden;
         settings.nn.epochs = v.epochs;
         settings.nn.learning_rate = v.lr;
         settings.nn.momentum = v.momentum;
-        const PerformanceMap map = run_map_experiment(
-            suite, "neural-net", factory_for(DetectorKind::NeuralNet, settings));
-        table.add(v.label, map.count(DetectionOutcome::Capable),
+        plan.add_detector(v.label,
+                          factory_for(DetectorKind::NeuralNet, settings));
+    }
+    EngineOptions options;
+    options.jobs = base.jobs;
+    const PlanRun run = run_plan(plan, options);
+
+    TextTable table;
+    table.header({"setting", "capable", "weak", "blind", "seconds"});
+    const std::size_t cells = suite.entry_count();
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        const PerformanceMap& map = run.maps[i];
+        const MapTiming& timing = run.timings[i];
+        table.add(variants[i].label, map.count(DetectionOutcome::Capable),
                   map.count(DetectionOutcome::Weak),
-                  map.count(DetectionOutcome::Blind), fixed(sw.lap(), 1));
+                  map.count(DetectionOutcome::Blind),
+                  fixed(timing.train_seconds + timing.score_seconds, 1));
     }
     std::cout << table.render();
     std::printf("\n(%zu cells per map) A tuned network mimics the Markov "

@@ -13,9 +13,9 @@
 //     0, blinds the detector everywhere.
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
 #include "common.hpp"
-#include "core/experiment.hpp"
 #include "core/false_alarm.hpp"
 #include "detect/registry.hpp"
 #include "util/table.hpp"
@@ -44,15 +44,26 @@ int main(int argc, char** argv) {
     const EventStream heldout = ctx->corpus->generate_heldout(100'000, 90210);
 
     bench::banner("Markov detector coverage and false alarms per response policy");
-    TextTable table;
-    table.header({"policy", "capable", "weak", "blind", "FA rate @ DW=6"});
+    // One plan, one detector per policy variant: the engine interleaves the
+    // variants' columns across --jobs workers.
+    ExperimentPlan plan(*ctx->suite);
     for (const Variant& v : variants) {
         DetectorSettings settings;
         settings.markov.probability_floor = v.floor;
         settings.markov.laplace_alpha = v.alpha;
-        const PerformanceMap map =
-            run_map_experiment(*ctx->suite, std::string("markov ") + v.label,
-                               factory_for(DetectorKind::Markov, settings));
+        plan.add_detector(std::string("markov ") + v.label,
+                          factory_for(DetectorKind::Markov, settings));
+    }
+    const PlanRun run = bench::run_quiet(*ctx, plan);
+
+    TextTable table;
+    table.header({"policy", "capable", "weak", "blind", "FA rate @ DW=6"});
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        const Variant& v = variants[i];
+        const PerformanceMap& map = run.maps[i];
+        DetectorSettings settings;
+        settings.markov.probability_floor = v.floor;
+        settings.markov.laplace_alpha = v.alpha;
         auto d6 = make_detector(DetectorKind::Markov, 6, settings);
         d6->train(ctx->corpus->training());
         const FalseAlarmResult fa = measure_false_alarms(*d6, heldout);

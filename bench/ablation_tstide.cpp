@@ -12,7 +12,6 @@
 
 #include "common.hpp"
 #include "core/ensemble.hpp"
-#include "core/experiment.hpp"
 #include "core/false_alarm.hpp"
 #include "detect/lfc.hpp"
 #include "detect/registry.hpp"
@@ -25,12 +24,14 @@ int main(int argc, char** argv) {
     if (!ctx) return 0;
 
     bench::banner("Coverage: stide vs t-stide vs markov");
-    const PerformanceMap stide_map =
-        run_map_experiment(*ctx->suite, "stide", factory_for(DetectorKind::Stide));
-    const PerformanceMap tstide_map = run_map_experiment(
-        *ctx->suite, "t-stide", factory_for(DetectorKind::TStide));
-    const PerformanceMap markov_map = run_map_experiment(
-        *ctx->suite, "markov", factory_for(DetectorKind::Markov));
+    ExperimentPlan plan(*ctx->suite);
+    plan.add_detector(DetectorKind::Stide);
+    plan.add_detector(DetectorKind::TStide);
+    plan.add_detector(DetectorKind::Markov);
+    const PlanRun run = bench::run_quiet(*ctx, plan);
+    const PerformanceMap& stide_map = run.maps[0];
+    const PerformanceMap& tstide_map = run.maps[1];
+    const PerformanceMap& markov_map = run.maps[2];
 
     std::cout << tstide_map.render() << '\n';
     const CoverageSet cs = CoverageSet::capable_cells(stide_map);

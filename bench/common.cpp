@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <iostream>
 
 #include "util/stopwatch.hpp"
 
@@ -15,6 +16,9 @@ void add_common_options(CliParser& cli) {
     cli.add_option("min-window", "2", "smallest detector window (paper: 2)");
     cli.add_option("max-window", "15", "largest detector window (paper: 15)");
     cli.add_option("seed", "20050628", "corpus generation seed");
+    cli.add_option("jobs", "0",
+                   "experiment worker threads (0 = hardware concurrency); "
+                   "maps are identical for any value");
     add_observability_options(cli);
 }
 
@@ -32,6 +36,7 @@ Context make_context(const CliParser& cli, bool build_suite,
         static_cast<std::size_t>(cli.get_int("max-anomaly"));
     ctx.suite_config.min_window = static_cast<std::size_t>(cli.get_int("min-window"));
     ctx.suite_config.max_window = static_cast<std::size_t>(cli.get_int("max-window"));
+    ctx.jobs = resolve_jobs(static_cast<std::size_t>(cli.get_int("jobs")));
 
     RunManifest manifest = make_manifest(program);
     manifest.seed = ctx.spec.seed;
@@ -46,6 +51,7 @@ Context make_context(const CliParser& cli, bool build_suite,
     manifest.max_window = ctx.suite_config.max_window;
     ctx.obs = std::make_unique<ObsSession>(cli, std::move(manifest));
 
+    std::printf("# engine: jobs=%zu\n", ctx.jobs);
     Stopwatch sw;
     ctx.corpus = std::make_unique<TrainingCorpus>(TrainingCorpus::generate(ctx.spec));
     std::printf("# corpus: %zu elements, alphabet %zu (%.2fs)\n",
@@ -72,6 +78,15 @@ std::unique_ptr<Context> context_from_args(const std::string& program,
 
 void banner(const std::string& title) {
     std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+PlanRun run_and_render(const Context& ctx, const ExperimentPlan& plan) {
+    ChartSink sink(std::cout);
+    return run_plan(plan, ctx.engine_options(), sink);
+}
+
+PlanRun run_quiet(const Context& ctx, const ExperimentPlan& plan) {
+    return run_plan(plan, ctx.engine_options());
 }
 
 }  // namespace adiv::bench

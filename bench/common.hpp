@@ -11,6 +11,9 @@
 
 #include "anomaly/suite.hpp"
 #include "datagen/corpus.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/sink.hpp"
 #include "obs/session.hpp"
 #include "util/cli.hpp"
 
@@ -19,11 +22,20 @@ namespace adiv::bench {
 struct Context {
     CorpusSpec spec;
     SuiteConfig suite_config;
+    /// Resolved --jobs value (never 0): worker threads for plan runs.
+    std::size_t jobs = 1;
     /// Installed before corpus generation when --metrics/--trace are given;
     /// dumps the final metrics when the context is destroyed.
     std::unique_ptr<ObsSession> obs;
     std::unique_ptr<TrainingCorpus> corpus;
     std::unique_ptr<EvaluationSuite> suite;
+
+    /// Engine options carrying the context's --jobs value.
+    [[nodiscard]] EngineOptions engine_options() const {
+        EngineOptions options;
+        options.jobs = jobs;
+        return options;
+    }
 };
 
 /// Registers the common options on a parser (including --metrics/--trace).
@@ -42,5 +54,12 @@ std::unique_ptr<Context> context_from_args(const std::string& program,
 
 /// Prints a section header to stdout.
 void banner(const std::string& title);
+
+/// Runs the plan with the context's --jobs setting and renders every map to
+/// stdout through a ChartSink (chart, outcome counts, CSV block, summary).
+PlanRun run_and_render(const Context& ctx, const ExperimentPlan& plan);
+
+/// Runs the plan with the context's --jobs setting, no rendering.
+PlanRun run_quiet(const Context& ctx, const ExperimentPlan& plan);
 
 }  // namespace adiv::bench

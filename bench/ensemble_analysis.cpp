@@ -13,7 +13,6 @@
 #include "common.hpp"
 #include "core/diversity.hpp"
 #include "core/ensemble.hpp"
-#include "core/experiment.hpp"
 #include "core/false_alarm.hpp"
 #include "detect/registry.hpp"
 #include "util/table.hpp"
@@ -24,10 +23,12 @@ int main(int argc, char** argv) {
         argv[0], "Ensemble analysis: combining diverse detectors", argc, argv);
     if (!ctx) return 0;
 
-    std::vector<PerformanceMap> maps;
-    for (DetectorKind kind : paper_detectors())
-        maps.push_back(
-            run_map_experiment(*ctx->suite, to_string(kind), factory_for(kind)));
+    // One four-detector plan: all 56 (detector, DW) training columns feed
+    // the same worker pool under --jobs.
+    ExperimentPlan plan(*ctx->suite);
+    for (DetectorKind kind : paper_detectors()) plan.add_detector(kind);
+    PlanRun run = bench::run_quiet(*ctx, plan);
+    const std::vector<PerformanceMap>& maps = run.maps;
 
     bench::banner("Coverage sets (capable cells per detector)");
     TextTable coverage;

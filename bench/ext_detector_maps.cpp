@@ -16,9 +16,7 @@
 
 #include "common.hpp"
 #include "core/diversity.hpp"
-#include "core/experiment.hpp"
 #include "detect/registry.hpp"
-#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -30,27 +28,19 @@ int main(int argc, char** argv) {
     DetectorSettings settings;
     settings.hmm.iterations = 25;
 
-    std::vector<PerformanceMap> maps;
-    Stopwatch sw;
+    // One plan covers the four extension detectors plus the paper's Stide
+    // and Markov for reference; --jobs spreads its columns across workers.
+    ExperimentPlan plan(*ctx->suite);
     for (DetectorKind kind :
          {DetectorKind::TStide, DetectorKind::Hmm, DetectorKind::Rule,
-          DetectorKind::LookaheadPairs}) {
-        maps.push_back(run_map_experiment(*ctx->suite, to_string(kind),
-                                          factory_for(kind, settings)));
-        bench::banner("Performance map: " + to_string(kind));
-        std::printf("# experiment: %.2fs\n\n", sw.lap());
-        std::cout << maps.back().render() << '\n';
-    }
-
-    // Relate them to the paper's Stide and Markov maps.
-    maps.push_back(run_map_experiment(*ctx->suite, "stide",
-                                      factory_for(DetectorKind::Stide)));
-    maps.push_back(run_map_experiment(*ctx->suite, "markov",
-                                      factory_for(DetectorKind::Markov)));
+          DetectorKind::LookaheadPairs, DetectorKind::Stide,
+          DetectorKind::Markov})
+        plan.add_detector(kind, settings);
+    const PlanRun run = bench::run_and_render(*ctx, plan);
 
     bench::banner("Coverage relations vs the paper's detectors");
     std::vector<const PerformanceMap*> ptrs;
-    for (const auto& m : maps) ptrs.push_back(&m);
+    for (const auto& m : run.maps) ptrs.push_back(&m);
     TextTable table;
     table.header({"A", "B", "|A|", "|B|", "jaccard", "relation"});
     for (const PairwiseDiversity& d : analyze_all_pairs(ptrs)) {

@@ -2,14 +2,10 @@
 //
 // Each fig{3,4,5,6}_* binary compiles this file with ADIV_FIG_KIND set to the
 // detector under study; the harness regenerates the paper's chart at paper
-// scale and emits a CSV block for replotting.
-#include <cstdio>
-#include <iostream>
-
+// scale through a one-detector experiment plan and emits a CSV block for
+// replotting. --jobs parallelizes the map without changing a single cell.
 #include "common.hpp"
-#include "core/experiment.hpp"
 #include "detect/registry.hpp"
-#include "util/stopwatch.hpp"
 
 #ifndef ADIV_FIG_KIND
 #error "compile with -DADIV_FIG_KIND=<DetectorKind enumerator>"
@@ -25,16 +21,8 @@ int main(int argc, char** argv) {
     if (!ctx) return 0;
 
     bench::banner(ADIV_FIG_TITLE);
-    Stopwatch sw;
-    const PerformanceMap map = run_map_experiment(
-        *ctx->suite, to_string(kind), factory_for(kind));
-    std::printf("# experiment: %.2fs\n\n", sw.seconds());
-    std::cout << map.render() << '\n';
-    std::printf("summary: capable=%zu weak=%zu blind=%zu of %zu cells\n\n",
-                map.count(DetectionOutcome::Capable),
-                map.count(DetectionOutcome::Weak),
-                map.count(DetectionOutcome::Blind), map.cell_count());
-    std::printf("-- csv --\n");
-    map.write_csv(std::cout);
+    ExperimentPlan plan(*ctx->suite);
+    plan.add_detector(kind);
+    bench::run_and_render(*ctx, plan);
     return 0;
 }

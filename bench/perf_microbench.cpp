@@ -3,15 +3,22 @@
 // on. Not a figure from the paper — operational data for users sizing
 // deployments.
 //
-// After the google-benchmark suite, the binary writes a
-// BENCH_observability.json snapshot: batch-scoring events/sec per detector
-// (raw vs observability-instrumented, so the instrumentation overhead is
-// pinned by a number), and per-cell latency percentiles from a reduced map
-// experiment. Use --benchmark_filter=NONE to skip straight to the snapshot.
+// After the google-benchmark suite, the binary writes two snapshots:
+//   * BENCH_observability.json — batch-scoring events/sec per detector (raw
+//     vs observability-instrumented, so the instrumentation overhead is
+//     pinned by a number), and per-cell latency percentiles from a reduced
+//     map experiment;
+//   * BENCH_engine_scaling.json — wall time and cells/sec of one four-
+//     detector plan at jobs = 1, 2, 4, and hardware_concurrency, with the
+//     speedup over the serial run. On a single-core host the jobs > 1 rows
+//     measure scheduling overhead, not speedup.
+// Use --benchmark_filter=NONE to skip straight to the snapshots.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "anomaly/mfs_builder.hpp"
 #include "anomaly/subsequence_oracle.hpp"
@@ -20,6 +27,9 @@
 #include "datagen/corpus.hpp"
 #include "detect/instrumented.hpp"
 #include "detect/registry.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
+#include "util/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -239,6 +249,85 @@ void write_observability_snapshot(const std::string& path) {
     std::printf("\nsnapshot written to %s\n", path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_engine_scaling.json snapshot
+
+void write_engine_scaling_snapshot(const std::string& path) {
+    // The paper's four detectors on a reduced grid: large enough that the
+    // training columns dominate, small enough to sweep four job counts.
+    SuiteConfig suite_config;
+    suite_config.min_anomaly_size = 2;
+    suite_config.max_anomaly_size = 9;
+    suite_config.min_window = 2;
+    suite_config.max_window = 8;
+    suite_config.background_length = 1024;
+    const EvaluationSuite suite = EvaluationSuite::build(corpus(), suite_config);
+
+    DetectorSettings settings;
+    settings.nn.epochs = 100;
+    ExperimentPlan plan(suite);
+    for (DetectorKind kind : paper_detectors()) plan.add_detector(kind, settings);
+
+    std::vector<std::size_t> job_counts = {1, 2, 4, ThreadPool::default_jobs()};
+    std::sort(job_counts.begin(), job_counts.end());
+    job_counts.erase(std::unique(job_counts.begin(), job_counts.end()),
+                     job_counts.end());
+
+    std::printf("\n==== engine scaling snapshot (%s) ====\n\n", path.c_str());
+    std::printf("# plan: %zu detectors x DW %zu..%zu x AS %zu..%zu = %zu cells\n",
+                plan.detectors().size(), suite_config.min_window,
+                suite_config.max_window, suite_config.min_anomaly_size,
+                suite_config.max_anomaly_size, plan.cell_count());
+
+    TextTable table;
+    table.header({"jobs", "wall s", "cells/s", "speedup vs jobs=1"});
+
+    JsonWriter json;
+    json.begin_object();
+    json.key("schema").value("adiv-bench-engine-scaling/1");
+    json.key("timestamp").value(now_iso8601());
+    json.key("build_type").value(build_type_string());
+    json.key("hardware_concurrency")
+        .value(static_cast<std::uint64_t>(ThreadPool::default_jobs()));
+    json.key("corpus_events")
+        .value(static_cast<std::uint64_t>(corpus().training().size()));
+    json.key("detectors").begin_array();
+    for (const auto& detector : plan.detectors()) json.value(detector.name);
+    json.end_array();
+    json.key("cells").value(static_cast<std::uint64_t>(plan.cell_count()));
+    json.key("runs").begin_array();
+
+    double serial_wall = 0.0;
+    for (const std::size_t jobs : job_counts) {
+        EngineOptions options;
+        options.jobs = jobs;
+        const PlanRun run = run_plan(plan, options);
+        if (jobs == 1) serial_wall = run.summary.wall_seconds;
+        const double speedup = run.summary.wall_seconds > 0.0 && serial_wall > 0.0
+                                   ? serial_wall / run.summary.wall_seconds
+                                   : 0.0;
+        table.add(jobs, fixed(run.summary.wall_seconds, 2),
+                  fixed(run.summary.cells_per_second, 1), fixed(speedup, 2));
+        json.begin_object();
+        json.key("jobs").value(static_cast<std::uint64_t>(jobs));
+        json.key("wall_seconds").value(run.summary.wall_seconds);
+        json.key("cells_per_second").value(run.summary.cells_per_second);
+        json.key("speedup_vs_1").value(speedup);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    std::printf("%s", table.render().c_str());
+    std::ofstream out(path);
+    if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    out << json.str() << '\n';
+    std::printf("\nsnapshot written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,5 +336,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     write_observability_snapshot("BENCH_observability.json");
+    write_engine_scaling_snapshot("BENCH_engine_scaling.json");
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 // Sequence substrate
 #include "seq/alphabet.hpp"
@@ -77,3 +78,8 @@
 #include "core/online.hpp"
 #include "core/perf_map.hpp"
 #include "core/response.hpp"
+
+// Experiment engine: plan / scheduler / sink layers
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/sink.hpp"

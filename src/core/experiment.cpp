@@ -1,9 +1,7 @@
 #include "core/experiment.hpp"
 
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
-#include "util/stopwatch.hpp"
 
 namespace adiv {
 
@@ -19,54 +17,8 @@ SpanScore score_entry(const SequenceDetector& detector,
     return classify_span(responses, entry.stream.span);
 }
 
-PerformanceMap run_map_experiment(const EvaluationSuite& suite,
-                                  const std::string& detector_name,
-                                  const DetectorFactory& factory,
-                                  const ExperimentProgress& progress) {
-    PerformanceMap map(detector_name, suite.anomaly_sizes(), suite.window_lengths());
-
-    TraceSpan map_span("experiment.map");
-    map_span.attr("detector", detector_name)
-        .attr("windows", static_cast<std::uint64_t>(suite.window_lengths().size()))
-        .attr("anomaly_sizes",
-              static_cast<std::uint64_t>(suite.anomaly_sizes().size()));
-    Counter& cells_scored = global_metrics().counter("experiment.cells_scored");
-    Histogram& cell_us = global_metrics().histogram("experiment.cell_us");
-    Gauge& cells_per_second = global_metrics().gauge("experiment.cells_per_second");
-
-    const Stopwatch total;
-    std::size_t cells = 0;
-    for (std::size_t dw : suite.window_lengths()) {
-        const std::unique_ptr<SequenceDetector> detector = factory(dw);
-        require(detector != nullptr, "detector factory returned null");
-        require(detector->window_length() == dw,
-                "factory produced detector with wrong window length");
-        {
-            TraceSpan train_span("experiment.train");
-            train_span.attr("detector", detector_name)
-                .attr("window", static_cast<std::uint64_t>(dw))
-                .attr("events",
-                      static_cast<std::uint64_t>(suite.corpus().training().size()));
-            detector->train(suite.corpus().training());
-        }
-        for (std::size_t as : suite.anomaly_sizes()) {
-            TraceSpan cell_span("experiment.cell");
-            cell_span.attr("detector", detector_name)
-                .attr("anomaly_size", static_cast<std::uint64_t>(as))
-                .attr("window", static_cast<std::uint64_t>(dw));
-            const Stopwatch cell_watch;
-            const SpanScore score = score_entry(*detector, suite.entry(as, dw));
-            cell_us.record(cell_watch.seconds() * 1e6);
-            cells_scored.add(1);
-            ++cells;
-            map.set(as, dw, score);
-            if (progress) progress(as, dw, score);
-        }
-    }
-    const double elapsed = total.seconds();
-    if (elapsed > 0.0 && cells > 0)
-        cells_per_second.set(static_cast<double>(cells) / elapsed);
-    return map;
-}
+// run_map_experiment is defined in src/engine/compat.cpp: it wraps a
+// one-detector ExperimentPlan so existing callers pick up the engine's
+// scheduler (and its --jobs parallelism) without a signature change.
 
 }  // namespace adiv

@@ -5,6 +5,11 @@
 // training stream and scored on every anomaly-size test stream of that
 // window; each stream's incident-span responses are classified into the
 // corresponding map cell.
+//
+// run_map_experiment is a thin wrapper over the experiment engine
+// (engine/plan.hpp + engine/scheduler.hpp); its definition lives in
+// src/engine/compat.cpp. Multi-detector grids and result sinks are the
+// engine's ExperimentPlan / run_plan API.
 #pragma once
 
 #include <functional>
@@ -22,10 +27,13 @@ using ExperimentProgress = std::function<void(
 
 /// Runs the full map experiment for one detector family.
 /// `detector_name` labels the map; `factory` builds the detector per window.
+/// `jobs` is the worker-thread count (1 = serial, 0 = hardware concurrency);
+/// the map is bit-identical regardless of the value.
 PerformanceMap run_map_experiment(const EvaluationSuite& suite,
                                   const std::string& detector_name,
                                   const DetectorFactory& factory,
-                                  const ExperimentProgress& progress = {});
+                                  const ExperimentProgress& progress = {},
+                                  std::size_t jobs = 1);
 
 /// Scores a single suite entry with an already trained detector. The
 /// detector's window length must equal the entry's.

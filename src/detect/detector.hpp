@@ -16,6 +16,15 @@
 // continuation (Markov, neural net) treat the window's first DW-1 elements
 // as context and its last element as the predicted event, so their response
 // for position p is about the same DW elements as Stide's and L&B's.
+//
+// Concurrency contract: train() is exclusive — no other call may run on the
+// instance while it trains. After train() returns, score() and the const
+// observers (name, window_length, alphabet_size) are safe to call
+// concurrently from multiple threads on the same instance; the experiment
+// engine (src/engine) relies on this to fan one trained model out across
+// scoring workers. Implementations must not mutate unguarded state inside
+// score() — caches behind `mutable` members must be internally synchronized
+// (see score_memo.hpp) and must never change observable responses.
 #pragma once
 
 #include <cstddef>
@@ -46,8 +55,17 @@ public:
     [[nodiscard]] virtual std::size_t alphabet_size() const = 0;
 
     /// Responses in [0,1], one per window position (test.window_count(DW)
-    /// entries). Must be called after train(); throws otherwise.
+    /// entries). Must be called after train(); throws otherwise. Safe for
+    /// concurrent calls on a trained instance (see the concurrency contract
+    /// in the file header).
     [[nodiscard]] virtual std::vector<double> score(const EventStream& test) const = 0;
+
+    /// True when score(test)[p] depends only on the DW elements of window p —
+    /// which lets callers score a stream in overlapping chunks and splice the
+    /// responses (tools/adiv_score --jobs does exactly that). Detectors that
+    /// condition on the whole prefix (e.g. the HMM's forward filter) return
+    /// false and must be scored in one pass.
+    [[nodiscard]] virtual bool window_local() const noexcept { return true; }
 
 protected:
     SequenceDetector() = default;

@@ -41,6 +41,10 @@ public:
     void train(const EventStream& training) override;
     [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
 
+    /// The forward filter conditions every response on the whole stream
+    /// prefix, so chunked scoring would change responses at chunk seams.
+    [[nodiscard]] bool window_local() const noexcept override { return false; }
+
     /// Writes the trained model body in the adiv text format; pair with
     /// load_model. Most callers use io/model_io, which adds a typed envelope.
     void save_model(std::ostream& out) const;

@@ -36,6 +36,9 @@ public:
 
     void train(const EventStream& training) override;
     [[nodiscard]] std::vector<double> score(const EventStream& test) const override;
+    [[nodiscard]] bool window_local() const noexcept override {
+        return inner_->window_local();
+    }
 
     [[nodiscard]] const SequenceDetector& inner() const noexcept { return *inner_; }
 

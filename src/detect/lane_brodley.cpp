@@ -52,7 +52,7 @@ std::uint64_t LaneBrodleyDetector::max_similarity_to_normal(SymbolView window) c
     require_data(!database_.empty(), "L&B normal database is empty");
 
     const NgramKey key = codec_->encode(window);
-    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (const auto cached = memo_.find(key)) return *cached;
 
     const std::uint64_t best_possible = lane_brodley_max_similarity(window_length_);
     std::uint64_t best = 0;
@@ -62,7 +62,7 @@ std::uint64_t LaneBrodleyDetector::max_similarity_to_normal(SymbolView window) c
         best = std::max(best, lane_brodley_similarity(window, normal_window));
         if (best == best_possible) break;
     }
-    memo_.emplace(key, best);
+    memo_.store(key, best);
     return best;
 }
 

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "detect/detector.hpp"
+#include "detect/score_memo.hpp"
 #include "seq/ngram.hpp"
 
 namespace adiv {
@@ -70,8 +70,8 @@ private:
     std::vector<Symbol> database_;
     /// Memo of window key -> max similarity; test streams repeat windows
     /// heavily, so this turns the database scan into a hash lookup. Cleared
-    /// on retrain. Not thread-safe.
-    mutable std::unordered_map<NgramKey, std::uint64_t, NgramKeyHash> memo_;
+    /// on retrain; mutex-guarded, so concurrent score() calls stay safe.
+    mutable ScoreMemo<NgramKey, std::uint64_t, NgramKeyHash> memo_;
 };
 
 }  // namespace adiv

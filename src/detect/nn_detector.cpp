@@ -58,9 +58,9 @@ std::vector<double> NnDetector::predict(SymbolView context) const {
     require(context.size() == window_length_ - 1, "context length mismatch");
     const NgramCodec codec(alphabet_size_);
     const NgramKey key = codec.encode(context);
-    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (auto cached = memo_.find(key)) return *std::move(cached);
     std::vector<double> probs = net_->forward(one_hot_context(context, alphabet_size_));
-    memo_.emplace(key, probs);
+    memo_.store(key, probs);
     return probs;
 }
 

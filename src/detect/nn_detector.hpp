@@ -20,9 +20,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "detect/detector.hpp"
+#include "detect/score_memo.hpp"
 #include "nn/mlp.hpp"
 #include "seq/ngram.hpp"
 
@@ -75,8 +76,9 @@ private:
     std::optional<Mlp> net_;
     double training_loss_ = 0.0;
     /// Forward passes memoized by context key; test streams repeat contexts
-    /// heavily. Cleared on retrain. Not thread-safe.
-    mutable std::unordered_map<NgramKey, std::vector<double>, NgramKeyHash> memo_;
+    /// heavily. Cleared on retrain; mutex-guarded, so concurrent score()
+    /// calls stay safe.
+    mutable ScoreMemo<NgramKey, std::vector<double>, NgramKeyHash> memo_;
 };
 
 }  // namespace adiv

@@ -1,0 +1,25 @@
+// Back-compat shim: run_map_experiment (declared in core/experiment.hpp) as
+// a thin wrapper over a one-detector plan. The historical serial semantics —
+// canonical cell order, progress callbacks, error propagation — are exactly
+// the engine's jobs==1 path.
+#include "core/experiment.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
+
+namespace adiv {
+
+PerformanceMap run_map_experiment(const EvaluationSuite& suite,
+                                  const std::string& detector_name,
+                                  const DetectorFactory& factory,
+                                  const ExperimentProgress& progress,
+                                  std::size_t jobs) {
+    ExperimentPlan plan(suite);
+    plan.add_detector(detector_name, factory);
+    EngineOptions options;
+    options.jobs = jobs;
+    options.progress = progress;
+    PlanRun run = run_plan(plan, options);
+    return std::move(run.maps.front());
+}
+
+}  // namespace adiv

@@ -1,0 +1,153 @@
+#include "engine/sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace {
+
+std::string fixed_seconds(double seconds) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.2f", seconds);
+    return buffer;
+}
+
+std::string fixed_rate(double rate) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.1f", rate);
+    return buffer;
+}
+
+}  // namespace
+
+namespace adiv {
+
+ChartSink::ChartSink(std::ostream& out) : ChartSink(out, Options{}) {}
+
+ChartSink::ChartSink(std::ostream& out, Options options)
+    : out_(&out), options_(options) {}
+
+void ChartSink::map_ready(const PerformanceMap& map, const MapTiming& timing) {
+    std::ostream& out = *out_;
+    if (options_.banner)
+        out << "\n==== Performance map: " << map.detector_name() << " ====\n\n";
+    if (options_.timing) {
+        out << "# train " << fixed_seconds(timing.train_seconds) << "s, score "
+            << fixed_seconds(timing.score_seconds)
+            << "s (aggregate across workers)\n\n";
+    }
+    if (options_.chart) out << map.render() << '\n';
+    if (options_.outcome_counts) {
+        out << "summary: capable=" << map.count(DetectionOutcome::Capable)
+            << " weak=" << map.count(DetectionOutcome::Weak)
+            << " blind=" << map.count(DetectionOutcome::Blind) << " of "
+            << map.cell_count() << " cells\n\n";
+    }
+    if (options_.csv_block) {
+        out << "-- csv --\n";
+        map.write_csv(out);
+    }
+}
+
+void ChartSink::plan_finished(const PlanSummary& summary) {
+    *out_ << "# plan: " << summary.cell_count << " cells, "
+          << summary.detector_count << " detector(s), jobs=" << summary.jobs
+          << ", " << fixed_seconds(summary.wall_seconds) << "s wall, "
+          << fixed_rate(summary.cells_per_second) << " cells/s\n";
+}
+
+CsvFileSink::CsvFileSink(const std::string& path) : out_(path) {
+    require_data(out_.good(), "cannot open CSV output file '" + path + "'");
+    out_ << "detector,anomaly_size,window_length,outcome,max_response\n";
+}
+
+void CsvFileSink::map_ready(const PerformanceMap& map, const MapTiming&) {
+    for (std::size_t dw : map.window_lengths()) {
+        for (std::size_t as : map.anomaly_sizes()) {
+            const SpanScore& score = map.at(as, dw);
+            out_ << map.detector_name() << ',' << as << ',' << dw << ','
+                 << to_string(score.outcome) << ',' << score.max_response
+                 << '\n';
+        }
+    }
+}
+
+void CsvFileSink::plan_finished(const PlanSummary& summary) {
+    out_ << "# cells=" << summary.cell_count << " jobs=" << summary.jobs
+         << " wall_seconds=" << summary.wall_seconds
+         << " cells_per_second=" << summary.cells_per_second << '\n';
+    out_.flush();
+}
+
+JsonSink::JsonSink(std::ostream& out) : out_(&out) {
+    json_.begin_object();
+    json_.key("schema").value("adiv-plan-run/1");
+}
+
+void JsonSink::map_ready(const PerformanceMap& map, const MapTiming& timing) {
+    if (!maps_open_) {
+        json_.key("maps").begin_array();
+        maps_open_ = true;
+    }
+    json_.begin_object();
+    json_.key("detector").value(map.detector_name());
+    json_.key("train_seconds").value(timing.train_seconds);
+    json_.key("score_seconds").value(timing.score_seconds);
+    json_.key("capable")
+        .value(static_cast<std::uint64_t>(map.count(DetectionOutcome::Capable)));
+    json_.key("weak")
+        .value(static_cast<std::uint64_t>(map.count(DetectionOutcome::Weak)));
+    json_.key("blind")
+        .value(static_cast<std::uint64_t>(map.count(DetectionOutcome::Blind)));
+    json_.key("cells").begin_array();
+    for (std::size_t dw : map.window_lengths()) {
+        for (std::size_t as : map.anomaly_sizes()) {
+            const SpanScore& score = map.at(as, dw);
+            json_.begin_object();
+            json_.key("anomaly_size").value(static_cast<std::uint64_t>(as));
+            json_.key("window_length").value(static_cast<std::uint64_t>(dw));
+            json_.key("outcome").value(to_string(score.outcome));
+            json_.key("max_response").value(score.max_response);
+            json_.end_object();
+        }
+    }
+    json_.end_array();
+    json_.end_object();
+}
+
+void JsonSink::plan_finished(const PlanSummary& summary) {
+    if (maps_open_) {
+        json_.end_array();
+        maps_open_ = false;
+    }
+    json_.key("summary").begin_object();
+    json_.key("jobs").value(static_cast<std::uint64_t>(summary.jobs));
+    json_.key("detectors")
+        .value(static_cast<std::uint64_t>(summary.detector_count));
+    json_.key("cells").value(static_cast<std::uint64_t>(summary.cell_count));
+    json_.key("wall_seconds").value(summary.wall_seconds);
+    json_.key("cells_per_second").value(summary.cells_per_second);
+    json_.end_object();
+    json_.end_object();
+    *out_ << json_.str() << '\n';
+    json_ = JsonWriter();
+    json_.begin_object();
+    json_.key("schema").value("adiv-plan-run/1");
+}
+
+MultiSink::MultiSink(std::vector<ResultSink*> sinks) : sinks_(std::move(sinks)) {
+    for (ResultSink* sink : sinks_)
+        require(sink != nullptr, "MultiSink entries must be non-null");
+}
+
+void MultiSink::map_ready(const PerformanceMap& map, const MapTiming& timing) {
+    for (ResultSink* sink : sinks_) sink->map_ready(map, timing);
+}
+
+void MultiSink::plan_finished(const PlanSummary& summary) {
+    for (ResultSink* sink : sinks_) sink->plan_finished(summary);
+}
+
+}  // namespace adiv

@@ -1,0 +1,98 @@
+// ResultSink: where a plan run's maps and summary go.
+//
+// The bench mains used to carry near-identical rendering code — render the
+// chart, print outcome counts, dump a CSV block. Sinks unify that: the
+// scheduler reports each finished map (in plan order, regardless of job
+// count) followed by the per-plan throughput summary, and a binary composes
+// the sinks it wants (chart+CSV on stdout, a CSV file, a JSON document).
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/perf_map.hpp"
+#include "engine/scheduler.hpp"
+#include "obs/json.hpp"
+
+namespace adiv {
+
+class ResultSink {
+public:
+    virtual ~ResultSink() = default;
+
+    /// One finished performance map, in plan order.
+    virtual void map_ready(const PerformanceMap& map, const MapTiming& timing) = 0;
+
+    /// The per-plan summary, after every map_ready() call.
+    virtual void plan_finished(const PlanSummary& /*summary*/) {}
+};
+
+/// The classic bench stdout rendering: banner, ASCII chart, outcome counts,
+/// and a `-- csv --` block per map, then a one-line plan summary.
+class ChartSink : public ResultSink {
+public:
+    struct Options {
+        bool banner = true;         ///< "==== Performance map: NAME ====" header
+        bool chart = true;          ///< PerformanceMap::render()
+        bool outcome_counts = true; ///< "summary: capable=... of N cells"
+        bool csv_block = true;      ///< "-- csv --" + write_csv()
+        bool timing = true;         ///< per-map train/score seconds
+    };
+
+    explicit ChartSink(std::ostream& out);
+    ChartSink(std::ostream& out, Options options);
+
+    void map_ready(const PerformanceMap& map, const MapTiming& timing) override;
+    void plan_finished(const PlanSummary& summary) override;
+
+private:
+    std::ostream* out_;
+    Options options_;
+};
+
+/// One CSV file for the whole plan:
+/// detector,anomaly_size,window_length,outcome,max_response.
+class CsvFileSink : public ResultSink {
+public:
+    /// Throws DataError when the file cannot be opened.
+    explicit CsvFileSink(const std::string& path);
+
+    void map_ready(const PerformanceMap& map, const MapTiming& timing) override;
+    void plan_finished(const PlanSummary& summary) override;
+
+private:
+    std::ofstream out_;
+};
+
+/// One JSON document for the whole plan:
+/// {"schema":...,"maps":[{...cells...}],"summary":{...}}. Written on
+/// plan_finished().
+class JsonSink : public ResultSink {
+public:
+    /// The stream must outlive the sink.
+    explicit JsonSink(std::ostream& out);
+
+    void map_ready(const PerformanceMap& map, const MapTiming& timing) override;
+    void plan_finished(const PlanSummary& summary) override;
+
+private:
+    std::ostream* out_;
+    JsonWriter json_;
+    bool maps_open_ = false;
+};
+
+/// Fans every callback out to a list of borrowed sinks, in order.
+class MultiSink : public ResultSink {
+public:
+    explicit MultiSink(std::vector<ResultSink*> sinks);
+
+    void map_ready(const PerformanceMap& map, const MapTiming& timing) override;
+    void plan_finished(const PlanSummary& summary) override;
+
+private:
+    std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace adiv

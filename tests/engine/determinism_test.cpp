@@ -1,0 +1,119 @@
+// The engine's core guarantee: parallel plan runs produce bit-identical maps
+// to the serial path, for every detector kind, regardless of job count.
+//
+// The scheduler writes each cell into a pre-sized slot addressed by grid
+// position, so assembly never depends on completion order; this test pins
+// that property cell-by-cell (outcome, exact response, argmax position) for
+// all eight detectors on a reduced grid.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/registry.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+/// Reduced grid over the shared small corpus: AS 2..5 x DW 2..6 keeps eight
+/// detectors (including the HMM and the NN) affordable.
+const EvaluationSuite& reduced_suite() {
+    static const EvaluationSuite suite = [] {
+        SuiteConfig config;
+        config.min_anomaly_size = 2;
+        config.max_anomaly_size = 5;
+        config.min_window = 2;
+        config.max_window = 6;
+        config.background_length = 512;
+        return EvaluationSuite::build(test::small_corpus(), config);
+    }();
+    return suite;
+}
+
+ExperimentPlan all_detector_plan() {
+    DetectorSettings settings;
+    settings.nn.epochs = 100;
+    settings.hmm.iterations = 10;
+    ExperimentPlan plan(reduced_suite());
+    for (DetectorKind kind : all_detectors()) plan.add_detector(kind, settings);
+    return plan;
+}
+
+PlanRun run_with_jobs(std::size_t jobs) {
+    EngineOptions options;
+    options.jobs = jobs;
+    return run_plan(all_detector_plan(), options);
+}
+
+TEST(EngineDeterminism, ParallelMapsAreBitIdenticalToSerial) {
+    const PlanRun serial = run_with_jobs(1);
+    const PlanRun parallel = run_with_jobs(4);
+
+    ASSERT_EQ(serial.maps.size(), all_detectors().size());
+    ASSERT_EQ(parallel.maps.size(), serial.maps.size());
+    for (std::size_t d = 0; d < serial.maps.size(); ++d) {
+        const PerformanceMap& a = serial.maps[d];
+        const PerformanceMap& b = parallel.maps[d];
+        EXPECT_EQ(a.detector_name(), b.detector_name());
+        for (std::size_t as : reduced_suite().anomaly_sizes()) {
+            for (std::size_t dw : reduced_suite().window_lengths()) {
+                const SpanScore& sa = a.at(as, dw);
+                const SpanScore& sb = b.at(as, dw);
+                EXPECT_EQ(sa.outcome, sb.outcome)
+                    << a.detector_name() << " AS=" << as << " DW=" << dw;
+                // Bit-identical, not approximately equal: the parallel path
+                // must run the exact same computation on the exact same data.
+                EXPECT_EQ(sa.max_response, sb.max_response)
+                    << a.detector_name() << " AS=" << as << " DW=" << dw;
+                EXPECT_EQ(sa.argmax_window, sb.argmax_window)
+                    << a.detector_name() << " AS=" << as << " DW=" << dw;
+            }
+        }
+    }
+}
+
+TEST(EngineDeterminism, SummaryCountsAreIndependentOfJobs) {
+    const PlanRun serial = run_with_jobs(1);
+    const PlanRun parallel = run_with_jobs(3);
+    EXPECT_EQ(serial.summary.cell_count, parallel.summary.cell_count);
+    EXPECT_EQ(serial.summary.detector_count, parallel.summary.detector_count);
+    EXPECT_EQ(serial.summary.jobs, 1u);
+    EXPECT_EQ(parallel.summary.jobs, 3u);
+    EXPECT_GT(parallel.summary.wall_seconds, 0.0);
+    EXPECT_GT(parallel.summary.cells_per_second, 0.0);
+}
+
+TEST(EngineDeterminism, ProgressSeesEveryCellUnderParallelRuns) {
+    ExperimentPlan plan(reduced_suite());
+    plan.add_detector(DetectorKind::Stide);
+    plan.add_detector(DetectorKind::Markov);
+    EngineOptions options;
+    options.jobs = 4;
+    std::vector<std::pair<std::size_t, std::size_t>> seen;  // serialized hook
+    options.progress = [&seen](std::size_t as, std::size_t dw,
+                               const SpanScore&) { seen.emplace_back(as, dw); };
+    (void)run_plan(plan, options);
+    EXPECT_EQ(seen.size(), plan.cell_count());
+}
+
+TEST(EngineDeterminism, ParallelErrorMatchesSerialError) {
+    // A factory that fails for one window must surface the same error type
+    // from any job count (canonical-index rethrow).
+    const DetectorFactory broken = [](std::size_t dw) {
+        return make_detector(DetectorKind::Stide, dw == 4 ? dw + 1 : dw);
+    };
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        ExperimentPlan plan(reduced_suite());
+        plan.add_detector("broken", broken);
+        EngineOptions options;
+        options.jobs = jobs;
+        EXPECT_THROW((void)run_plan(plan, options), InvalidArgument)
+            << "jobs=" << jobs;
+    }
+}
+
+}  // namespace
+}  // namespace adiv

@@ -1,0 +1,70 @@
+// ExperimentPlan: the value type describing a (detectors x windows x
+// anomaly-sizes) experiment grid.
+#include <gtest/gtest.h>
+
+#include "detect/registry.hpp"
+#include "engine/plan.hpp"
+#include "support/corpus_fixture.hpp"
+#include "util/error.hpp"
+
+namespace adiv {
+namespace {
+
+TEST(ExperimentPlan, DefaultsToTheSuiteGrid) {
+    ExperimentPlan plan(test::small_suite());
+    plan.add_detector(DetectorKind::Stide);
+    EXPECT_EQ(plan.anomaly_sizes(), test::small_suite().anomaly_sizes());
+    EXPECT_EQ(plan.window_lengths(), test::small_suite().window_lengths());
+    EXPECT_EQ(plan.detectors().size(), 1u);
+    EXPECT_EQ(plan.detectors()[0].name, "stide");
+    EXPECT_EQ(plan.cells_per_map(),
+              plan.anomaly_sizes().size() * plan.window_lengths().size());
+    EXPECT_EQ(plan.cell_count(), plan.cells_per_map());
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(ExperimentPlan, CellCountScalesWithDetectors) {
+    ExperimentPlan plan(test::small_suite());
+    plan.add_detector(DetectorKind::Stide);
+    plan.add_detector(DetectorKind::Markov);
+    EXPECT_EQ(plan.cell_count(), 2 * plan.cells_per_map());
+}
+
+TEST(ExperimentPlan, AxisRestrictionNarrowsTheGrid) {
+    ExperimentPlan plan(test::small_suite());
+    plan.add_detector(DetectorKind::Stide);
+    plan.with_window_lengths({2, 4}).with_anomaly_sizes({3});
+    EXPECT_EQ(plan.window_lengths(), (std::vector<std::size_t>{2, 4}));
+    EXPECT_EQ(plan.anomaly_sizes(), (std::vector<std::size_t>{3}));
+    EXPECT_EQ(plan.cell_count(), 2u);
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(ExperimentPlan, ValidateRejectsEmptyDetectors) {
+    ExperimentPlan plan(test::small_suite());
+    EXPECT_THROW(plan.validate(), InvalidArgument);
+}
+
+TEST(ExperimentPlan, ValidateRejectsAxisValuesOutsideTheSuite) {
+    ExperimentPlan plan(test::small_suite());
+    plan.add_detector(DetectorKind::Stide);
+    plan.with_window_lengths({99});
+    EXPECT_THROW(plan.validate(), InvalidArgument);
+}
+
+TEST(ExperimentPlan, ValidateRejectsEmptyAxes) {
+    ExperimentPlan plan(test::small_suite());
+    plan.add_detector(DetectorKind::Stide);
+    plan.with_anomaly_sizes({});
+    EXPECT_THROW(plan.validate(), InvalidArgument);
+}
+
+TEST(ExperimentPlan, RejectsUnnamedOrNullDetector) {
+    ExperimentPlan plan(test::small_suite());
+    EXPECT_THROW(plan.add_detector("", factory_for(DetectorKind::Stide)),
+                 InvalidArgument);
+    EXPECT_THROW(plan.add_detector("stide", DetectorFactory{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -16,8 +16,9 @@
 
 #include <map>
 
-#include "core/experiment.hpp"
 #include "detect/registry.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
 #include "support/corpus_fixture.hpp"
 
 namespace adiv {
@@ -41,13 +42,20 @@ Shape expected_shape(DetectorKind kind) {
 
 const PerformanceMap& map_for(DetectorKind kind) {
     static std::map<DetectorKind, PerformanceMap> cache = [] {
+        // All eight detectors in one plan on a two-worker pool (maps are
+        // identical for any job count).
         DetectorSettings settings;
         settings.nn.epochs = 300;
         settings.hmm.iterations = 20;
+        ExperimentPlan plan(test::small_suite());
+        for (DetectorKind k : all_detectors()) plan.add_detector(k, settings);
+        EngineOptions options;
+        options.jobs = 2;
+        PlanRun run = run_plan(plan, options);
         std::map<DetectorKind, PerformanceMap> maps;
+        std::size_t i = 0;
         for (DetectorKind k : all_detectors())
-            maps.emplace(k, run_map_experiment(test::small_suite(), to_string(k),
-                                               factory_for(k, settings)));
+            maps.emplace(k, std::move(run.maps[i++]));
         return maps;
     }();
     return cache.at(kind);

@@ -10,9 +10,10 @@
 
 #include "core/diversity.hpp"
 #include "core/ensemble.hpp"
-#include "core/experiment.hpp"
 #include "core/false_alarm.hpp"
 #include "detect/registry.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
 #include "support/corpus_fixture.hpp"
 
 namespace adiv {
@@ -26,12 +27,18 @@ struct Maps {
 
 const Maps& maps() {
     static const Maps m = [] {
-        const EvaluationSuite& suite = test::small_suite();
-        return Maps{
-            run_map_experiment(suite, "stide", factory_for(DetectorKind::Stide)),
-            run_map_experiment(suite, "markov", factory_for(DetectorKind::Markov)),
-            run_map_experiment(suite, "lane-brodley",
-                               factory_for(DetectorKind::LaneBrodley))};
+        // One three-detector plan on a two-worker pool: the standard suite
+        // exercises the parallel scheduler, whose maps are bit-identical to
+        // the serial path.
+        ExperimentPlan plan(test::small_suite());
+        plan.add_detector(DetectorKind::Stide);
+        plan.add_detector(DetectorKind::Markov);
+        plan.add_detector(DetectorKind::LaneBrodley);
+        EngineOptions options;
+        options.jobs = 2;
+        PlanRun run = run_plan(plan, options);
+        return Maps{std::move(run.maps[0]), std::move(run.maps[1]),
+                    std::move(run.maps[2])};
     }();
     return m;
 }

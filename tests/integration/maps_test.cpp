@@ -2,9 +2,10 @@
 // properties, computed over the full (reduced-grid) evaluation suite.
 #include <gtest/gtest.h>
 
-#include "core/experiment.hpp"
 #include "detect/lane_brodley.hpp"
 #include "detect/registry.hpp"
+#include "engine/plan.hpp"
+#include "engine/scheduler.hpp"
 #include "support/corpus_fixture.hpp"
 
 namespace adiv {
@@ -12,13 +13,20 @@ namespace {
 
 const PerformanceMap& map_for(DetectorKind kind) {
     static std::map<DetectorKind, PerformanceMap> cache = [] {
-        std::map<DetectorKind, PerformanceMap> maps;
+        // One four-detector plan on a two-worker pool (maps are identical
+        // for any job count; this keeps the parallel scheduler exercised by
+        // the standard suite).
         DetectorSettings settings;
         settings.nn.epochs = 300;
-        for (DetectorKind k : paper_detectors()) {
-            maps.emplace(k, run_map_experiment(test::small_suite(), to_string(k),
-                                               factory_for(k, settings)));
-        }
+        ExperimentPlan plan(test::small_suite());
+        for (DetectorKind k : paper_detectors()) plan.add_detector(k, settings);
+        EngineOptions options;
+        options.jobs = 2;
+        PlanRun run = run_plan(plan, options);
+        std::map<DetectorKind, PerformanceMap> maps;
+        std::size_t i = 0;
+        for (DetectorKind k : paper_detectors())
+            maps.emplace(k, std::move(run.maps[i++]));
         return maps;
     }();
     return cache.at(kind);

@@ -112,6 +112,7 @@ TEST_F(ObservabilityCli, ScoreEmitsManifestNestedSpansAndMetrics) {
     const int rc = run_command(
         std::string(ADIV_SCORE_TOOL) + " --model " + quoted(*dir_ + "model.adiv") +
         " --input " + quoted(*dir_ + "test.stream") + " --batch 1000" +
+        " --jobs 1" +  // pin the serial online-scorer path the spans describe
         " --trace " + quoted(trace_path) + " --metrics - > " + quoted(log_path));
     ASSERT_TRUE(rc == 0 || rc == 2) << read_file(log_path);  // 2 = alarms fired
 
@@ -156,7 +157,7 @@ TEST_F(ObservabilityCli, MetricsFileReceivesJsonDump) {
     const std::string log_path = *dir_ + "score_file_stdout.txt";
     const int rc = run_command(
         std::string(ADIV_SCORE_TOOL) + " --model " + quoted(*dir_ + "model.adiv") +
-        " --input " + quoted(*dir_ + "test.stream") +
+        " --input " + quoted(*dir_ + "test.stream") + " --jobs 1" +
         " --metrics " + quoted(metrics_path) + " > " + quoted(log_path));
     ASSERT_TRUE(rc == 0 || rc == 2) << read_file(log_path);
     const std::string json = read_file(metrics_path);
@@ -177,6 +178,20 @@ TEST_F(ObservabilityCli, WithoutFlagsNoTraceOrMetricsAppear) {
     const std::string stdout_text = read_file(log_path);
     EXPECT_EQ(stdout_text.find("-- metrics --"), std::string::npos);
     EXPECT_EQ(stdout_text.find("span_begin"), std::string::npos);
+}
+
+TEST_F(ObservabilityCli, ParallelScoringMatchesSerialCsv) {
+    const std::string serial_path = *dir_ + "csv_serial.txt";
+    const std::string parallel_path = *dir_ + "csv_parallel.txt";
+    const std::string base = std::string(ADIV_SCORE_TOOL) + " --model " +
+                             quoted(*dir_ + "model.adiv") + " --input " +
+                             quoted(*dir_ + "test.stream") + " --csv";
+    ASSERT_EQ(run_command(base + " --jobs 1 > " + quoted(serial_path)), 0);
+    ASSERT_EQ(run_command(base + " --jobs 4 > " + quoted(parallel_path)), 0);
+    const std::string serial = read_file(serial_path);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, read_file(parallel_path))
+        << "chunked parallel scoring must splice to the exact serial responses";
 }
 
 #else  // tool paths not provided by the build

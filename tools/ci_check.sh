@@ -1,28 +1,50 @@
 #!/bin/sh
-# Tier-1 gate plus an optional sanitizer pass.
+# Tier-1 gate plus optional sanitizer passes.
 #
-#   tools/ci_check.sh              # configure, build, ctest (build/)
-#   tools/ci_check.sh --sanitize   # also build + run tests under ASan/UBSan
-#                                  # (build-san/, slower)
+#   tools/ci_check.sh                   # configure, build, ctest (build/)
+#   tools/ci_check.sh --sanitize        # also build + run tests under
+#                                       # ASan/UBSan (build-san/, slower)
+#   tools/ci_check.sh --sanitize thread # also build under TSan (build-tsan/)
+#                                       # and run the parallel-engine tests
+#   tools/ci_check.sh --sanitize all    # both sanitizer passes
 #
 # Exits non-zero on the first failure. Run from the repository root.
 set -eu
 
 jobs=$(nproc 2>/dev/null || echo 2)
-sanitize=0
+asan=0
+tsan=0
+expect_mode=0
 for arg in "$@"; do
+    if [ "$expect_mode" -eq 1 ]; then
+        expect_mode=0
+        case "$arg" in
+            address|address,undefined) asan=1; continue ;;
+            thread) tsan=1; continue ;;
+            all) asan=1; tsan=1; continue ;;
+            *) echo "unknown sanitizer '$arg'" >&2
+               echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]]" >&2
+               exit 2 ;;
+        esac
+    fi
     case "$arg" in
-        --sanitize) sanitize=1 ;;
-        *) echo "usage: tools/ci_check.sh [--sanitize]" >&2; exit 2 ;;
+        --sanitize) expect_mode=1 ;;
+        --sanitize=thread) tsan=1 ;;
+        --sanitize=address|--sanitize=address,undefined) asan=1 ;;
+        --sanitize=all) asan=1; tsan=1 ;;
+        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]]" >&2
+           exit 2 ;;
     esac
 done
+# Bare `--sanitize` keeps its historical meaning: address,undefined.
+if [ "$expect_mode" -eq 1 ]; then asan=1; fi
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
-if [ "$sanitize" -eq 1 ]; then
+if [ "$asan" -eq 1 ]; then
     echo "== sanitizer pass: address,undefined =="
     cmake -B build-san -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -30,6 +52,19 @@ if [ "$sanitize" -eq 1 ]; then
         -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
     cmake --build build-san -j "$jobs"
     (cd build-san && ctest --output-on-failure -j "$jobs")
+fi
+
+if [ "$tsan" -eq 1 ]; then
+    echo "== sanitizer pass: thread (parallel engine tests) =="
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DADIV_SANITIZE=thread \
+        -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
+    cmake --build build-tsan -j "$jobs"
+    # The concurrency surface: the pool itself, the scheduler's determinism
+    # suite (jobs > 1 plan runs for all detectors), and the engine sinks.
+    (cd build-tsan && ctest --output-on-failure -j "$jobs" \
+        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims')
 fi
 
 echo "== ci_check: OK =="
