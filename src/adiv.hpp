@@ -83,3 +83,10 @@
 #include "engine/plan.hpp"
 #include "engine/scheduler.hpp"
 #include "engine/sink.hpp"
+
+// Online detection server: wire protocol, transports, sessions, server
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/transport.hpp"

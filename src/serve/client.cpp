@@ -1,0 +1,78 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace adiv::serve {
+
+Client::Client(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+    require(transport_ != nullptr, "client needs a transport");
+}
+
+Response Client::call(const Request& request) {
+    write_frame(*transport_, serialize(request));
+    const std::optional<std::string> payload = read_frame(*transport_, decoder_);
+    require_data(payload.has_value(), "server closed the connection");
+    return parse_response(*payload);
+}
+
+Response Client::checked(const Request& request) {
+    Response response = call(request);
+    if (response.type == ResponseType::Error)
+        throw ServeError("server error: " + response.message);
+    return response;
+}
+
+OpenInfo Client::open(const std::string& target) {
+    Request request;
+    request.type = RequestType::Open;
+    request.target = target;
+    const Response response = checked(request);
+    require_data(response.type == ResponseType::Opened,
+                 "unexpected response to OPEN");
+    return OpenInfo{response.session_id, response.detector, response.window,
+                    response.alphabet};
+}
+
+std::vector<double> Client::push(SymbolView events) {
+    Request request;
+    request.type = RequestType::Push;
+    request.events.assign(events.begin(), events.end());
+    Response response = checked(request);
+    require_data(response.type == ResponseType::Scores,
+                 "unexpected response to PUSH");
+    return std::move(response.scores);
+}
+
+Response Client::stats() {
+    Request request;
+    request.type = RequestType::Stats;
+    Response response = checked(request);
+    require_data(response.type == ResponseType::Stats,
+                 "unexpected response to STATS");
+    return response;
+}
+
+SessionCounts Client::drain() {
+    Request request;
+    request.type = RequestType::Drain;
+    const Response response = checked(request);
+    require_data(response.type == ResponseType::Drained,
+                 "unexpected response to DRAIN");
+    return response.counts;
+}
+
+SessionCounts Client::close_session() {
+    Request request;
+    request.type = RequestType::Close;
+    const Response response = checked(request);
+    require_data(response.type == ResponseType::Closed,
+                 "unexpected response to CLOSE");
+    return response.counts;
+}
+
+void Client::disconnect() { transport_->close(); }
+
+}  // namespace adiv::serve

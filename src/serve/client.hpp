@@ -1,0 +1,63 @@
+// Blocking client for the adiv_serve protocol: one request frame out, one
+// response frame in. Used by adiv_loadgen, the serve tests, and anything
+// that wants to talk to a detection server without hand-rolling frames.
+//
+// Not thread-safe: one Client per thread (the server happily handles many
+// concurrent connections instead).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "seq/types.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace adiv::serve {
+
+/// Thrown when the server answers with an ERR record.
+class ServeError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct OpenInfo {
+    std::uint64_t session_id = 0;
+    std::string detector;
+    std::size_t window = 0;
+    std::size_t alphabet = 0;
+};
+
+class Client {
+public:
+    explicit Client(std::unique_ptr<Transport> transport);
+
+    /// Sends a request and returns the matching response (possibly ERR).
+    /// Throws DataError when the connection drops mid-exchange.
+    Response call(const Request& request);
+
+    /// Conveniences; each throws ServeError when the server answers ERR.
+    OpenInfo open(const std::string& target);
+    std::vector<double> push(SymbolView events);
+    Response stats();
+    SessionCounts drain();
+    SessionCounts close_session();
+
+    /// Closes the underlying transport (an abrupt end from the server's
+    /// point of view unless close_session() ran first).
+    void disconnect();
+
+    [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+
+private:
+    Response checked(const Request& request);
+
+    std::unique_ptr<Transport> transport_;
+    FrameDecoder decoder_;
+};
+
+}  // namespace adiv::serve

@@ -1,0 +1,218 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/text_serial.hpp"
+
+namespace adiv::serve {
+
+std::string encode_frame(std::string_view payload) {
+    require(payload.size() <= kMaxFramePayload, "frame payload too large");
+    std::string frame = std::to_string(payload.size());
+    frame += ' ';
+    frame += payload;
+    return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+std::optional<std::string> FrameDecoder::next() {
+    if (buffer_.empty()) return std::nullopt;
+    require_data(std::isdigit(static_cast<unsigned char>(buffer_[0])) != 0,
+                 "malformed frame: length prefix is not a number");
+    const std::size_t sep = buffer_.find(' ');
+    // The longest valid prefix announces kMaxFramePayload (7 digits); a run
+    // of digits longer than that can never become a valid frame.
+    if (sep == std::string::npos) {
+        require_data(buffer_.size() <= 8, "malformed frame: unterminated length prefix");
+        return std::nullopt;
+    }
+    std::size_t length = 0;
+    const auto [end, ec] =
+        std::from_chars(buffer_.data(), buffer_.data() + sep, length);
+    require_data(ec == std::errc() && end == buffer_.data() + sep,
+                 "malformed frame: length prefix is not a number");
+    require_data(length <= kMaxFramePayload, "malformed frame: payload too large");
+    if (buffer_.size() - sep - 1 < length) return std::nullopt;
+    std::string payload = buffer_.substr(sep + 1, length);
+    buffer_.erase(0, sep + 1 + length);
+    return payload;
+}
+
+namespace {
+
+constexpr std::string_view kOpen = "OPEN";
+constexpr std::string_view kPush = "PUSH";
+constexpr std::string_view kStats = "STATS";
+constexpr std::string_view kDrain = "DRAIN";
+constexpr std::string_view kClose = "CLOSE";
+constexpr std::string_view kOpened = "OPENED";
+constexpr std::string_view kScores = "SCORES";
+constexpr std::string_view kDrained = "DRAINED";
+constexpr std::string_view kClosed = "CLOSED";
+constexpr std::string_view kErr = "ERR";
+
+void append_double(std::string& out, double value) {
+    std::ostringstream token;
+    write_double(token, value);
+    out += token.str();
+}
+
+void require_done(std::istream& in, std::string_view verb) {
+    std::string extra;
+    require_data(!(in >> extra), "trailing junk after " + std::string(verb));
+}
+
+}  // namespace
+
+std::string serialize(const Request& request) {
+    switch (request.type) {
+        case RequestType::Open:
+            require(!request.target.empty() &&
+                        request.target.find_first_of(" \t\n\r") == std::string::npos,
+                    "OPEN target must be a single non-empty token");
+            return std::string(kOpen) + " " + request.target;
+        case RequestType::Push: {
+            require(!request.events.empty(), "PUSH needs at least one event");
+            std::string payload(kPush);
+            for (const Symbol event : request.events) {
+                payload += ' ';
+                payload += std::to_string(event);
+            }
+            return payload;
+        }
+        case RequestType::Stats:
+            return std::string(kStats);
+        case RequestType::Drain:
+            return std::string(kDrain);
+        case RequestType::Close:
+            return std::string(kClose);
+    }
+    throw InvalidArgument("unknown request type");
+}
+
+std::string serialize(const Response& response) {
+    std::string payload;
+    switch (response.type) {
+        case ResponseType::Opened:
+            payload = std::string(kOpened) + " " + std::to_string(response.session_id) +
+                      " " + response.detector + " " + std::to_string(response.window) +
+                      " " + std::to_string(response.alphabet);
+            return payload;
+        case ResponseType::Scores:
+            payload = std::string(kScores) + " " + std::to_string(response.scores.size());
+            for (const double score : response.scores) {
+                payload += ' ';
+                append_double(payload, score);
+            }
+            return payload;
+        case ResponseType::Stats:
+            return std::string(kStats) + " " + std::to_string(response.counts.events) +
+                   " " + std::to_string(response.counts.windows) + " " +
+                   std::to_string(response.counts.alarms) + " " +
+                   std::to_string(response.active_sessions);
+        case ResponseType::Drained:
+        case ResponseType::Closed:
+            payload = std::string(response.type == ResponseType::Drained ? kDrained
+                                                                         : kClosed);
+            payload += " " + std::to_string(response.counts.events) + " " +
+                       std::to_string(response.counts.windows) + " " +
+                       std::to_string(response.counts.alarms);
+            return payload;
+        case ResponseType::Error:
+            return std::string(kErr) + " " + response.message;
+    }
+    throw InvalidArgument("unknown response type");
+}
+
+Request parse_request(std::string_view payload) {
+    std::istringstream in{std::string(payload)};
+    const std::string verb = read_token(in, "request verb");
+    Request request;
+    if (verb == kOpen) {
+        request.type = RequestType::Open;
+        request.target = read_token(in, "OPEN target");
+        require_done(in, kOpen);
+    } else if (verb == kPush) {
+        request.type = RequestType::Push;
+        std::string token;
+        while (in >> token) {
+            std::uint32_t value = 0;
+            const auto [end, ec] =
+                std::from_chars(token.data(), token.data() + token.size(), value);
+            require_data(ec == std::errc() && end == token.data() + token.size(),
+                         "PUSH event '" + token + "' is not a symbol id");
+            request.events.push_back(value);
+        }
+        require_data(!request.events.empty(), "PUSH carries no events");
+    } else if (verb == kStats) {
+        request.type = RequestType::Stats;
+        require_done(in, kStats);
+    } else if (verb == kDrain) {
+        request.type = RequestType::Drain;
+        require_done(in, kDrain);
+    } else if (verb == kClose) {
+        request.type = RequestType::Close;
+        require_done(in, kClose);
+    } else {
+        throw DataError("unknown request verb '" + verb + "'");
+    }
+    return request;
+}
+
+Response parse_response(std::string_view payload) {
+    std::istringstream in{std::string(payload)};
+    const std::string verb = read_token(in, "response verb");
+    Response response;
+    if (verb == kOpened) {
+        response.type = ResponseType::Opened;
+        response.session_id = read_u64(in, "session id");
+        response.detector = read_token(in, "detector name");
+        response.window = read_size(in, "window length");
+        response.alphabet = read_size(in, "alphabet size");
+        require_done(in, kOpened);
+    } else if (verb == kScores) {
+        response.type = ResponseType::Scores;
+        const std::size_t count = read_size(in, "score count");
+        response.scores.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            response.scores.push_back(read_double(in, "score"));
+        require_done(in, kScores);
+    } else if (verb == kStats) {
+        response.type = ResponseType::Stats;
+        response.counts.events = read_u64(in, "events");
+        response.counts.windows = read_u64(in, "windows");
+        response.counts.alarms = read_u64(in, "alarms");
+        response.active_sessions = read_size(in, "active sessions");
+        require_done(in, kStats);
+    } else if (verb == kDrained || verb == kClosed) {
+        response.type =
+            verb == kDrained ? ResponseType::Drained : ResponseType::Closed;
+        response.counts.events = read_u64(in, "events");
+        response.counts.windows = read_u64(in, "windows");
+        response.counts.alarms = read_u64(in, "alarms");
+        require_done(in, verb);
+    } else if (verb == kErr) {
+        response.type = ResponseType::Error;
+        std::string rest;
+        std::getline(in, rest);
+        // Drop the separator space after the verb; keep the message verbatim.
+        if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+        response.message = rest;
+    } else {
+        throw DataError("unknown response verb '" + verb + "'");
+    }
+    return response;
+}
+
+Response error_response(std::string message) {
+    Response response;
+    response.type = ResponseType::Error;
+    response.message = std::move(message);
+    return response;
+}
+
+}  // namespace adiv::serve

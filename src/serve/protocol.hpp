@@ -1,0 +1,113 @@
+// The adiv_serve wire protocol: length-prefixed text frames.
+//
+// A frame is `<decimal-payload-length> SP <payload-bytes>`; the payload is a
+// whitespace-separated record. The framing layer and the record grammar are
+// both plain functions over strings, so every protocol path is unit-testable
+// without sockets — the transports (serve/transport.hpp) only move bytes.
+//
+// Request records (client -> server; one response frame per request, in
+// request order):
+//
+//   OPEN <target>          start a session; target names a model the server
+//                          has registered ("default", "markov/6", or — when
+//                          the server allows it — a model-file path)
+//   PUSH <id> <id> ...     feed events to the open session's OnlineScorer
+//   STATS                  session + server counters, no state change
+//   DRAIN                  barrier: everything pushed before this point has
+//                          been scored and its responses delivered
+//   CLOSE                  end the session, report its final counters
+//
+// Response records (server -> client):
+//
+//   OPENED <session-id> <detector> <dw> <alphabet>
+//   SCORES <n> <v1> ... <vn>        one response per completed window, in
+//                                   stream order; 17-significant-digit
+//                                   decimal, so doubles round-trip exactly
+//   STATS <events> <windows> <alarms> <active-sessions>
+//   DRAINED <events> <windows> <alarms>
+//   CLOSED <events> <windows> <alarms>
+//   ERR <message...>                message runs to the end of the payload
+//
+// Framing errors (bad length prefix, oversized frame) are unrecoverable —
+// the byte stream has lost sync and the connection must close. Record-level
+// errors (unknown verb, bad symbol) are answered with ERR and the session
+// survives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace adiv::serve {
+
+/// Upper bound on a frame payload; a frame announcing more is malformed.
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+/// Wraps a payload in a frame: "<length> <payload>".
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder: feed bytes in arbitrary chunks, pull complete
+/// payloads. Throws DataError on a malformed length prefix or an oversized
+/// announcement; after a throw the stream is out of sync and must be closed.
+class FrameDecoder {
+public:
+    void feed(std::string_view bytes);
+
+    /// Next complete payload, or nullopt when more bytes are needed.
+    [[nodiscard]] std::optional<std::string> next();
+
+    /// True when no partial frame is buffered (a clean stream boundary).
+    [[nodiscard]] bool idle() const noexcept { return buffer_.empty(); }
+
+private:
+    std::string buffer_;
+};
+
+enum class RequestType { Open, Push, Stats, Drain, Close };
+
+struct Request {
+    RequestType type = RequestType::Stats;
+    std::string target;          // Open
+    std::vector<Symbol> events;  // Push
+};
+
+/// Session counters carried by STATS / DRAINED / CLOSED.
+struct SessionCounts {
+    std::uint64_t events = 0;   // events consumed by the scorer
+    std::uint64_t windows = 0;  // responses produced
+    std::uint64_t alarms = 0;   // responses at/above kMaximalResponse
+};
+
+enum class ResponseType { Opened, Scores, Stats, Drained, Closed, Error };
+
+struct Response {
+    ResponseType type = ResponseType::Error;
+    // Opened
+    std::uint64_t session_id = 0;
+    std::string detector;
+    std::size_t window = 0;
+    std::size_t alphabet = 0;
+    // Scores
+    std::vector<double> scores;
+    // Stats / Drained / Closed
+    SessionCounts counts;
+    std::size_t active_sessions = 0;  // Stats only
+    // Error
+    std::string message;
+};
+
+/// Record serialization. serialize() emits the payload only (no frame);
+/// parse_* throw DataError on unknown verbs or malformed fields.
+std::string serialize(const Request& request);
+std::string serialize(const Response& response);
+Request parse_request(std::string_view payload);
+Response parse_response(std::string_view payload);
+
+/// Convenience constructors for the error path.
+Response error_response(std::string message);
+
+}  // namespace adiv::serve

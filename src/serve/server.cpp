@@ -1,0 +1,227 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace adiv::serve {
+
+Server::Server(ServerConfig config, MetricsRegistry& metrics)
+    : config_(config),
+      metrics_(&metrics),
+      catalog_(config.allow_model_paths),
+      sessions_(catalog_, SessionConfig{config.scorer_buffer}, metrics),
+      connections_accepted_(metrics.counter("serve.connections_accepted")),
+      frames_rejected_(metrics.counter("serve.frames_rejected")),
+      responses_sent_(metrics.counter("serve.responses_sent")),
+      queue_depth_(metrics.gauge("serve.queue_depth")),
+      pool_(config.jobs, config.queue_capacity) {}
+
+Server::~Server() { shutdown(); }
+
+void Server::add_model(const std::string& name,
+                       std::shared_ptr<const SequenceDetector> model) {
+    catalog_.add(name, std::move(model));
+}
+
+bool Server::attach(std::unique_ptr<Transport> transport) {
+    require(transport != nullptr, "cannot attach a null transport");
+    Connection* connection = nullptr;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            transport->close();
+            return false;
+        }
+        connections_.push_back(std::make_unique<Connection>());
+        connection = connections_.back().get();
+        connection->transport = std::move(transport);
+        ++open_connections_;
+    }
+    connections_accepted_.add(1);
+    connection->reader = std::thread([this, connection] { reader_loop(*connection); });
+    return true;
+}
+
+void Server::serve(TcpListener& listener, const std::function<bool()>& stop) {
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) return;
+        }
+        if (stop && stop()) return;
+        std::unique_ptr<Transport> transport = listener.accept(/*timeout_ms=*/100);
+        if (transport) attach(std::move(transport));
+    }
+}
+
+void Server::shutdown() {
+    std::vector<Connection*> to_drain;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!stopping_) {
+            stopping_ = true;
+            for (const auto& connection : connections_)
+                to_drain.push_back(connection.get());
+        }
+    }
+    // First caller: stop the readers at the next frame boundary. Queued
+    // requests keep flowing through the strands and their responses are
+    // still written — this is the graceful part of the drain.
+    for (Connection* connection : to_drain)
+        connection->transport->shutdown_input();
+    wait_connections_closed();
+    // Join every reader, including those of connections that ended earlier.
+    // Guarded by mutex_ so concurrent shutdown() calls do not double-join.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& connection : connections_)
+        if (connection->reader.joinable()) connection->reader.join();
+}
+
+void Server::wait_connections_closed() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    connections_changed_.wait(lock, [this] { return open_connections_ == 0; });
+}
+
+void Server::reader_loop(Connection& connection) {
+    FrameDecoder decoder;
+    try {
+        char buffer[4096];
+        for (;;) {
+            const std::size_t n =
+                connection.transport->read_some(buffer, sizeof buffer);
+            if (n == 0) break;
+            decoder.feed({buffer, n});
+            // decoder.next() throws on framing errors (fatal, handled
+            // below); parse_request throws on record errors (survivable).
+            while (auto payload = decoder.next()) {
+                InboxItem item;
+                try {
+                    item.kind = InboxItem::Kind::Request;
+                    item.request = parse_request(*payload);
+                } catch (const std::exception& record_error) {
+                    frames_rejected_.add(1);
+                    item.kind = InboxItem::Kind::RecordError;
+                    item.error = record_error.what();
+                }
+                enqueue(connection, std::move(item));
+            }
+        }
+        if (!decoder.idle()) {
+            frames_rejected_.add(1);
+            InboxItem item;
+            item.kind = InboxItem::Kind::FatalError;
+            item.error = "connection closed mid-frame";
+            enqueue(connection, std::move(item));
+        }
+    } catch (const std::exception& fatal) {
+        frames_rejected_.add(1);
+        InboxItem item;
+        item.kind = InboxItem::Kind::FatalError;
+        item.error = fatal.what();
+        enqueue(connection, std::move(item));
+    }
+    InboxItem eof;
+    eof.kind = InboxItem::Kind::EndOfStream;
+    enqueue(connection, std::move(eof));
+}
+
+void Server::enqueue(Connection& connection, InboxItem item) {
+    bool schedule = false;
+    {
+        std::unique_lock<std::mutex> lock(connection.mutex);
+        // Backpressure: requests wait for inbox space; error/EOF items always
+        // enter, so a connection can always reach its end state.
+        if (item.kind == InboxItem::Kind::Request && config_.queue_capacity != 0)
+            connection.inbox_space.wait(lock, [&] {
+                return connection.inbox.size() < config_.queue_capacity;
+            });
+        connection.inbox.push_back(std::move(item));
+        if (!connection.strand_scheduled) {
+            connection.strand_scheduled = true;
+            schedule = true;
+        }
+    }
+    if (schedule) {
+        // May block on the bounded pool queue — the cross-connection
+        // backpressure point. Reader threads are the only callers.
+        pool_.submit([this, &connection] { run_strand(connection); });
+        queue_depth_.set(static_cast<double>(pool_.queue_depth()));
+    }
+}
+
+void Server::run_strand(Connection& connection) {
+    for (;;) {
+        InboxItem item;
+        {
+            const std::lock_guard<std::mutex> lock(connection.mutex);
+            if (connection.inbox.empty()) {
+                connection.strand_scheduled = false;
+                return;
+            }
+            item = std::move(connection.inbox.front());
+            connection.inbox.pop_front();
+        }
+        connection.inbox_space.notify_one();
+        switch (item.kind) {
+            case InboxItem::Kind::Request:
+                if (!connection.finished)
+                    send_response(connection, dispatch(connection, item.request));
+                break;
+            case InboxItem::Kind::RecordError:
+                if (!connection.finished)
+                    send_response(connection, error_response(item.error));
+                break;
+            case InboxItem::Kind::FatalError:
+                if (!connection.finished) {
+                    send_response(connection, error_response(item.error));
+                    finish_connection(connection);
+                }
+                break;
+            case InboxItem::Kind::EndOfStream:
+                finish_connection(connection);
+                break;
+        }
+    }
+}
+
+Response Server::dispatch(Connection& connection, const Request& request) {
+    if (request.type == RequestType::Open) {
+        if (connection.has_session)
+            return error_response("session already open (CLOSE it first)");
+        try {
+            Response response = sessions_.open(request.target);
+            connection.session_id = response.session_id;
+            connection.has_session = true;
+            return response;
+        } catch (const std::exception& open_error) {
+            return error_response(open_error.what());
+        }
+    }
+    if (!connection.has_session) return error_response("no open session");
+    Response response = sessions_.handle(connection.session_id, request);
+    if (response.type == ResponseType::Closed) connection.has_session = false;
+    return response;
+}
+
+void Server::finish_connection(Connection& connection) {
+    if (connection.finished) return;
+    connection.finished = true;
+    if (connection.has_session) {
+        sessions_.disconnect(connection.session_id);
+        connection.has_session = false;
+    }
+    connection.transport->close();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --open_connections_;
+    }
+    connections_changed_.notify_all();
+}
+
+void Server::send_response(Connection& connection, const Response& response) {
+    write_frame(*connection.transport, serialize(response));
+    responses_sent_.add(1);
+}
+
+}  // namespace adiv::serve

@@ -1,0 +1,153 @@
+// The multi-session online detection server.
+//
+// Threading model
+//
+//   * One reader per connection (a dedicated thread): reads frames, parses
+//     requests, and appends them to the connection's inbox.
+//   * One strand per connection: a pool task that drains the inbox in FIFO
+//     order, dispatches each request through the SessionManager, and writes
+//     the response frame. At most one strand task per connection is
+//     scheduled at a time, which gives the per-session ordering guarantee —
+//     responses leave in request order — while different connections score
+//     in parallel on the shared pool (`jobs` workers).
+//   * Backpressure is layered: the inbox is bounded (readers block when a
+//     client pushes faster than its session scores, which TCP flow control
+//     propagates to the client), and the pool queue is bounded (a burst of
+//     strand wakeups blocks readers at submit()).
+//
+// Draining and shutdown: shutdown() stops the accept loop, closes every
+// connection's *input* side only, lets each strand finish the requests that
+// already arrived (responses still go out), then closes the transports and
+// joins the readers. A client that sends DRAIN and waits for DRAINED before
+// CLOSE therefore never loses a response.
+//
+// Server-level metrics (SessionManager adds the session ones):
+//   serve.connections_accepted  counter
+//   serve.frames_rejected       counter, malformed frames / requests
+//   serve.responses_sent        counter
+//   serve.queue_depth           gauge, pool queue depth sampled per dispatch
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "serve/transport.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adiv::serve {
+
+struct ServerConfig {
+    /// Scoring worker threads; 0 = hardware concurrency.
+    std::size_t jobs = 0;
+    /// Bound on the pool queue AND each connection's inbox; 0 = unbounded.
+    std::size_t queue_capacity = 256;
+    /// OnlineScorer buffer capacity per session; 0 = scorer default (4*DW).
+    std::size_t scorer_buffer = 0;
+    /// Permit OPEN targets that are model-file paths (loaded and cached).
+    bool allow_model_paths = false;
+};
+
+class Server {
+public:
+    explicit Server(ServerConfig config = {},
+                    MetricsRegistry& metrics = global_metrics());
+
+    /// Calls shutdown().
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Registers a trained model; the first one also answers to "default".
+    void add_model(const std::string& name,
+                   std::shared_ptr<const SequenceDetector> model);
+
+    [[nodiscard]] ModelCatalog& catalog() noexcept { return catalog_; }
+
+    /// Adopts one established connection (loopback end, accepted socket).
+    /// Returns false when the server is already shutting down (the transport
+    /// is closed in that case).
+    bool attach(std::unique_ptr<Transport> transport);
+
+    /// Accept loop: adopts connections from the listener until shutdown()
+    /// or until `stop` (checked every poll timeout) returns true. Blocks;
+    /// run it from the owning thread.
+    void serve(TcpListener& listener, const std::function<bool()>& stop = {});
+
+    /// Graceful drain: stop accepting, stop reading, finish every request
+    /// already received (responses are delivered), close connections.
+    /// Idempotent; safe from any thread.
+    void shutdown();
+
+    /// Blocks until every attached connection has ended (client closed or
+    /// server shut down). Useful in tests.
+    void wait_connections_closed();
+
+    [[nodiscard]] std::size_t active_sessions() const {
+        return sessions_.active_sessions();
+    }
+    [[nodiscard]] std::size_t connections_accepted() const noexcept {
+        return connections_accepted_.value();
+    }
+
+private:
+    struct InboxItem {
+        // RecordError: a well-framed but unparseable record — answered with
+        // ERR, connection survives. FatalError: the byte stream lost frame
+        // sync — answered with ERR, then the connection closes.
+        enum class Kind { Request, RecordError, FatalError, EndOfStream };
+        Kind kind = Kind::EndOfStream;
+        Request request;
+        std::string error;
+    };
+
+    struct Connection {
+        std::unique_ptr<Transport> transport;
+        std::thread reader;
+        std::mutex mutex;
+        std::condition_variable inbox_space;
+        std::deque<InboxItem> inbox;
+        bool strand_scheduled = false;
+        bool finished = false;           // strand saw EndOfStream
+        std::uint64_t session_id = 0;
+        bool has_session = false;
+    };
+
+    void reader_loop(Connection& connection);
+    void enqueue(Connection& connection, InboxItem item);
+    void run_strand(Connection& connection);
+    Response dispatch(Connection& connection, const Request& request);
+    void finish_connection(Connection& connection);
+    void send_response(Connection& connection, const Response& response);
+
+    ServerConfig config_;
+    MetricsRegistry* metrics_;
+    ModelCatalog catalog_;
+    SessionManager sessions_;
+    Counter& connections_accepted_;
+    Counter& frames_rejected_;
+    Counter& responses_sent_;
+    Gauge& queue_depth_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable connections_changed_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    std::size_t open_connections_ = 0;
+    bool stopping_ = false;
+
+    // Declared last: destroyed first, so queued strand tasks run while the
+    // connections and session manager they reference are still alive.
+    ThreadPool pool_;
+};
+
+}  // namespace adiv::serve

@@ -1,0 +1,183 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "io/model_io.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace adiv::serve {
+
+// ---------------------------------------------------------------------------
+// ModelCatalog
+// ---------------------------------------------------------------------------
+
+void ModelCatalog::add(const std::string& name,
+                       std::shared_ptr<const SequenceDetector> model) {
+    require(model != nullptr, "cannot register a null model");
+    require(!name.empty() && name.find_first_of(" \t\n\r") == std::string::npos,
+            "model name must be a single non-empty token");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (models_.empty()) models_["default"] = model;
+    models_[name] = std::move(model);
+}
+
+std::shared_ptr<const SequenceDetector> ModelCatalog::add_from_file(
+    const std::string& name, const std::string& path) {
+    std::shared_ptr<const SequenceDetector> model = load_detector_file(path);
+    add(name, model);
+    return model;
+}
+
+std::shared_ptr<const SequenceDetector> ModelCatalog::resolve(
+    const std::string& target) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = models_.find(target); it != models_.end())
+            return it->second;
+    }
+    require(allow_paths_, "unknown model '" + target + "'");
+    // Load outside the lock (disk IO), then publish; a racing resolve of the
+    // same path may load twice — both loads yield equivalent models.
+    std::shared_ptr<const SequenceDetector> model = load_detector_file(target);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (models_.empty()) models_["default"] = model;
+        const auto [it, inserted] = models_.emplace(target, model);
+        if (!inserted) model = it->second;
+    }
+    return model;
+}
+
+std::vector<std::string> ModelCatalog::names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(models_.size());
+    for (const auto& [name, model] : models_) names.push_back(name);
+    return names;
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager
+// ---------------------------------------------------------------------------
+
+SessionManager::SessionManager(ModelCatalog& catalog, SessionConfig config,
+                               MetricsRegistry& metrics)
+    : catalog_(&catalog),
+      config_(config),
+      metrics_(&metrics),
+      sessions_opened_(metrics.counter("serve.sessions_opened")),
+      sessions_closed_(metrics.counter("serve.sessions_closed")),
+      sessions_active_(metrics.gauge("serve.sessions_active")),
+      events_pushed_(metrics.counter("serve.events_pushed")),
+      alarms_emitted_(metrics.counter("serve.alarms_emitted")),
+      push_latency_us_(metrics.histogram("serve.push_latency_us")) {}
+
+Response SessionManager::open(const std::string& target) {
+    std::shared_ptr<const SequenceDetector> model = catalog_->resolve(target);
+    auto session =
+        std::make_shared<Session>(std::move(model), config_.scorer_buffer, *metrics_);
+    Response response;
+    response.type = ResponseType::Opened;
+    response.detector = session->model->name();
+    response.window = session->model->window_length();
+    response.alphabet = session->model->alphabet_size();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        response.session_id = next_id_++;
+        sessions_.emplace(response.session_id, std::move(session));
+        sessions_active_.set(static_cast<double>(sessions_.size()));
+    }
+    sessions_opened_.add(1);
+    return response;
+}
+
+Response SessionManager::handle(std::uint64_t session_id, const Request& request) {
+    const std::shared_ptr<Session> session = find(session_id);
+    if (!session) return error_response("no open session");
+    switch (request.type) {
+        case RequestType::Open:
+            return error_response("session already open");
+        case RequestType::Push: {
+            const Stopwatch watch;
+            const std::size_t alphabet = session->model->alphabet_size();
+            for (const Symbol event : request.events)
+                if (event >= alphabet)
+                    return error_response("event " + std::to_string(event) +
+                                          " outside the model alphabet (" +
+                                          std::to_string(alphabet) + ")");
+            Response response;
+            response.type = ResponseType::Scores;
+            response.scores.reserve(request.events.size());
+            for (const Symbol event : request.events)
+                if (const auto score = session->scorer.push(event))
+                    response.scores.push_back(*score);
+            const std::uint64_t alarms = session->scorer.alarms();
+            alarms_emitted_.add(alarms - session->alarms_reported);
+            session->alarms_reported = alarms;
+            events_pushed_.add(request.events.size());
+            push_latency_us_.record(watch.seconds() * 1e6);
+            return response;
+        }
+        case RequestType::Stats: {
+            Response response;
+            response.type = ResponseType::Stats;
+            response.counts = counts_of(*session);
+            response.active_sessions = active_sessions();
+            return response;
+        }
+        case RequestType::Drain: {
+            // The server's strand has already handled everything enqueued
+            // before this request, so reaching this point IS the barrier.
+            Response response;
+            response.type = ResponseType::Drained;
+            response.counts = counts_of(*session);
+            return response;
+        }
+        case RequestType::Close: {
+            Response response;
+            response.type = ResponseType::Closed;
+            response.counts = counts_of(*session);
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                close_locked_erase(session_id);
+            }
+            return response;
+        }
+    }
+    return error_response("unknown request type");
+}
+
+void SessionManager::disconnect(std::uint64_t session_id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    close_locked_erase(session_id);
+}
+
+std::size_t SessionManager::active_sessions() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::find(
+    std::uint64_t session_id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session_id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+SessionCounts SessionManager::counts_of(const Session& session) {
+    SessionCounts counts;
+    counts.events = session.scorer.events_consumed();
+    counts.windows = session.scorer.windows_scored();
+    counts.alarms = session.scorer.alarms();
+    return counts;
+}
+
+void SessionManager::close_locked_erase(std::uint64_t session_id) {
+    if (sessions_.erase(session_id) > 0) {
+        sessions_closed_.add(1);
+        sessions_active_.set(static_cast<double>(sessions_.size()));
+    }
+}
+
+}  // namespace adiv::serve

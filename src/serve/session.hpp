@@ -1,0 +1,121 @@
+// Session state for the detection server.
+//
+// ModelCatalog owns the trained detectors, loaded once (via io/model_io or
+// registered directly) and shared read-only across every session — the
+// concurrency contract in detect/detector.hpp makes concurrent score() calls
+// on one trained instance safe, so N sessions over one model cost one model.
+//
+// SessionManager turns protocol requests into responses over per-session
+// OnlineScorer state. It performs no locking around a session's scorer:
+// the server guarantees (via its per-connection strand) that at most one
+// thread handles a given session at a time, and the manager only takes its
+// own mutex for the session table itself.
+//
+// Metrics (in the given registry; the process-global one by default):
+//   serve.sessions_opened    counter
+//   serve.sessions_closed    counter
+//   serve.sessions_active    gauge
+//   serve.events_pushed      counter, one per event in a PUSH
+//   serve.alarms_emitted     counter, maximal responses delivered
+//   serve.push_latency_us    histogram over per-PUSH handling time
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "detect/detector.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace adiv::serve {
+
+/// Named, trained, immutable detectors shared across sessions.
+class ModelCatalog {
+public:
+    /// When allow_paths is true, resolve() falls back to loading unknown
+    /// targets as model files from disk (cached under their path).
+    explicit ModelCatalog(bool allow_paths = false) : allow_paths_(allow_paths) {}
+
+    /// Registers a model under a name; the detector must be trained.
+    /// The first registered model also becomes "default".
+    void add(const std::string& name,
+             std::shared_ptr<const SequenceDetector> model);
+
+    /// Loads a model file and registers it under `name` (and "default" when
+    /// first). Returns the loaded detector.
+    std::shared_ptr<const SequenceDetector> add_from_file(
+        const std::string& name, const std::string& path);
+
+    /// Resolves an OPEN target: a registered name, or (when allowed) a model
+    /// file path. Throws InvalidArgument for unknown targets.
+    std::shared_ptr<const SequenceDetector> resolve(const std::string& target);
+
+    [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const SequenceDetector>> models_;
+    bool allow_paths_;
+};
+
+struct SessionConfig {
+    /// OnlineScorer buffer capacity; 0 = the scorer default (4 * DW).
+    std::size_t scorer_buffer = 0;
+};
+
+/// Per-session OnlineScorer state over catalog models; request dispatch.
+class SessionManager {
+public:
+    explicit SessionManager(ModelCatalog& catalog, SessionConfig config = {},
+                            MetricsRegistry& metrics = global_metrics());
+
+    /// Creates a session over the resolved target. Throws InvalidArgument
+    /// for unknown targets.
+    [[nodiscard]] Response open(const std::string& target);
+
+    /// Handles a PUSH / STATS / DRAIN / CLOSE for an existing session.
+    /// Returns an ERR response (never throws) for protocol-level problems:
+    /// unknown session, out-of-alphabet events. A rejected PUSH leaves the
+    /// session state untouched (events are validated before any is scored).
+    [[nodiscard]] Response handle(std::uint64_t session_id, const Request& request);
+
+    /// Abrupt session end (connection dropped without CLOSE).
+    void disconnect(std::uint64_t session_id);
+
+    [[nodiscard]] std::size_t active_sessions() const;
+
+private:
+    struct Session {
+        std::shared_ptr<const SequenceDetector> model;
+        OnlineScorer scorer;
+        std::uint64_t alarms_reported = 0;
+
+        Session(std::shared_ptr<const SequenceDetector> detector,
+                std::size_t buffer, MetricsRegistry& metrics)
+            : model(std::move(detector)), scorer(*model, buffer, metrics) {}
+    };
+
+    [[nodiscard]] std::shared_ptr<Session> find(std::uint64_t session_id) const;
+    [[nodiscard]] static SessionCounts counts_of(const Session& session);
+    void close_locked_erase(std::uint64_t session_id);
+
+    ModelCatalog* catalog_;
+    SessionConfig config_;
+    MetricsRegistry* metrics_;
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+    std::uint64_t next_id_ = 1;
+    Counter& sessions_opened_;
+    Counter& sessions_closed_;
+    Gauge& sessions_active_;
+    Counter& events_pushed_;
+    Counter& alarms_emitted_;
+    Histogram& push_latency_us_;
+};
+
+}  // namespace adiv::serve

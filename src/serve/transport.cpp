@@ -1,0 +1,269 @@
+#include "serve/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace adiv::serve {
+
+// ---------------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One direction of a loopback connection: a byte queue with blocking reads.
+class LoopbackChannel {
+public:
+    void write(const char* data, std::size_t size) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) return;  // peer is gone; discard like a broken pipe
+            data_.append(data, size);
+        }
+        readable_.notify_one();
+    }
+
+    std::size_t read_some(char* buffer, std::size_t capacity) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        readable_.wait(lock, [this] { return closed_ || !data_.empty(); });
+        if (data_.empty()) return 0;
+        const std::size_t n = std::min(capacity, data_.size());
+        std::memcpy(buffer, data_.data(), n);
+        data_.erase(0, n);
+        return n;
+    }
+
+    /// Buffered bytes stay readable after close; reads return 0 once empty.
+    void close() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        readable_.notify_all();
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable readable_;
+    std::string data_;
+    bool closed_ = false;
+};
+
+class LoopbackTransport final : public Transport {
+public:
+    LoopbackTransport(std::shared_ptr<LoopbackChannel> in,
+                      std::shared_ptr<LoopbackChannel> out)
+        : in_(std::move(in)), out_(std::move(out)) {}
+
+    ~LoopbackTransport() override { close(); }
+
+    std::size_t read_some(char* buffer, std::size_t capacity) override {
+        return in_->read_some(buffer, capacity);
+    }
+
+    void write_all(const char* data, std::size_t size) override {
+        out_->write(data, size);
+    }
+
+    void shutdown_input() override { in_->close(); }
+
+    void close() override {
+        in_->close();
+        out_->close();
+    }
+
+private:
+    std::shared_ptr<LoopbackChannel> in_;
+    std::shared_ptr<LoopbackChannel> out_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair() {
+    auto forward = std::make_shared<LoopbackChannel>();
+    auto backward = std::make_shared<LoopbackChannel>();
+    return {std::make_unique<LoopbackTransport>(forward, backward),
+            std::make_unique<LoopbackTransport>(backward, forward)};
+}
+
+// ---------------------------------------------------------------------------
+// Frame helpers
+// ---------------------------------------------------------------------------
+
+void write_frame(Transport& transport, std::string_view payload) {
+    const std::string frame = encode_frame(payload);
+    transport.write_all(frame.data(), frame.size());
+}
+
+std::optional<std::string> read_frame(Transport& transport, FrameDecoder& decoder) {
+    for (;;) {
+        if (auto payload = decoder.next()) return payload;
+        char buffer[4096];
+        const std::size_t n = transport.read_some(buffer, sizeof buffer);
+        if (n == 0) {
+            require_data(decoder.idle(), "connection closed mid-frame");
+            return std::nullopt;
+        }
+        decoder.feed({buffer, n});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class TcpTransport final : public Transport {
+public:
+    explicit TcpTransport(int fd) : fd_(fd) {}
+
+    ~TcpTransport() override { close(); }
+
+    std::size_t read_some(char* buffer, std::size_t capacity) override {
+        for (;;) {
+            const int fd = fd_.load(std::memory_order_acquire);
+            if (fd < 0) return 0;  // closed locally
+            const ssize_t n = ::recv(fd, buffer, capacity, 0);
+            if (n >= 0) return static_cast<std::size_t>(n);
+            if (errno == EINTR) continue;
+            // A vanished peer or a concurrent local close() both read as
+            // end-of-stream, not failure.
+            if (errno == ECONNRESET || errno == EBADF) return 0;
+            throw DataError(std::string("tcp recv failed: ") + std::strerror(errno));
+        }
+    }
+
+    void write_all(const char* data, std::size_t size) override {
+        std::size_t sent = 0;
+        while (sent < size) {
+            const int fd = fd_.load(std::memory_order_acquire);
+            if (fd < 0) return;
+            const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                // Peer closed: drop the rest, as documented on Transport.
+                if (errno == EPIPE || errno == ECONNRESET || errno == EBADF) return;
+                throw DataError(std::string("tcp send failed: ") +
+                                std::strerror(errno));
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    void shutdown_input() override {
+        const int fd = fd_.load(std::memory_order_acquire);
+        if (fd >= 0) ::shutdown(fd, SHUT_RD);
+    }
+
+    void close() override {
+        const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+        if (fd >= 0) {
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+        }
+    }
+
+private:
+    std::atomic<int> fd_;
+};
+
+sockaddr_in loopback_address(std::uint16_t port) {
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return address;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    require_data(fd_ >= 0, std::string("socket failed: ") + std::strerror(errno));
+    const int reuse = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+    sockaddr_in address = loopback_address(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw DataError("bind to 127.0.0.1:" + std::to_string(port) +
+                        " failed: " + reason);
+    }
+    if (::listen(fd_, backlog) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw DataError("listen failed: " + reason);
+    }
+    socklen_t length = sizeof address;
+    require_data(::getsockname(fd_, reinterpret_cast<sockaddr*>(&address),
+                               &length) == 0,
+                 "getsockname failed");
+    port_ = ntohs(address.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<Transport> TcpListener::accept(int timeout_ms) {
+    if (fd_ < 0) return nullptr;
+    pollfd poller{fd_, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, timeout_ms);
+    if (ready == 0) return nullptr;
+    if (ready < 0) {
+        if (errno == EINTR) return nullptr;
+        throw DataError(std::string("poll failed: ") + std::strerror(errno));
+    }
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+        // close() from another thread surfaces here; treat as "no client".
+        if (errno == EBADF || errno == EINVAL || errno == EINTR) return nullptr;
+        throw DataError(std::string("accept failed: ") + std::strerror(errno));
+    }
+    const int nodelay = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+    return std::make_unique<TcpTransport>(client);
+}
+
+void TcpListener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host,
+                                       std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    require_data(fd >= 0, std::string("socket failed: ") + std::strerror(errno));
+    sockaddr_in address = loopback_address(port);
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+        ::close(fd);
+        throw DataError("cannot parse host address '" + host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        throw DataError("connect to " + host + ":" + std::to_string(port) +
+                        " failed: " + reason);
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+    return std::make_unique<TcpTransport>(fd);
+}
+
+}  // namespace adiv::serve

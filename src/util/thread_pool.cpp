@@ -6,12 +6,19 @@
 
 namespace adiv {
 
+namespace {
+// Set while a worker of some pool runs tasks; lets submit() recognize
+// nested submissions (which must never block on a full queue).
+thread_local const ThreadPool* tl_current_pool = nullptr;
+}  // namespace
+
 std::size_t ThreadPool::default_jobs() noexcept {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
     if (threads == 0) threads = default_jobs();
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
@@ -24,17 +31,31 @@ ThreadPool::~ThreadPool() {
         stopping_ = true;
     }
     work_available_.notify_all();
+    space_available_.notify_all();
     for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
     require(task != nullptr, "cannot submit an empty task");
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (capacity_ != 0 && !on_worker_thread())
+            space_available_.wait(lock, [this] {
+                return stopping_ || queue_.size() < capacity_;
+            });
         require(!stopping_, "cannot submit to a stopping thread pool");
         queue_.push_back(std::move(task));
     }
     work_available_.notify_one();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+    return tl_current_pool == this;
 }
 
 std::future<void> ThreadPool::async(std::function<void()> task) {
@@ -46,6 +67,7 @@ std::future<void> ThreadPool::async(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+    tl_current_pool = this;
     for (;;) {
         std::function<void()> task;
         {
@@ -54,10 +76,14 @@ void ThreadPool::worker_loop() {
                                  [this] { return stopping_ || !queue_.empty(); });
             // Drain the queue before honouring shutdown: every submitted
             // task runs, so ~ThreadPool is a barrier, not a cancellation.
-            if (queue_.empty()) return;
+            if (queue_.empty()) {
+                tl_current_pool = nullptr;
+                return;
+            }
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        if (capacity_ != 0) space_available_.notify_one();
         task();
     }
 }

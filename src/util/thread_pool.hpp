@@ -1,10 +1,14 @@
 // Fixed-size thread pool and task groups: the execution substrate of the
-// experiment engine (src/engine).
+// experiment engine (src/engine) and the detection server (src/serve).
 //
 // ThreadPool runs submitted tasks on a fixed set of worker threads; tasks
-// are picked up in FIFO submission order. TaskGroup tracks a set of related
-// tasks — including tasks submitted from *inside* other tasks, which is how
-// the engine expresses dependencies (a training job submits its scoring jobs
+// are picked up in FIFO submission order. An optional queue capacity turns
+// submit() into a backpressure point: when the queue is full, submit blocks
+// until a worker frees a slot — except from inside a pool task, where
+// blocking could deadlock nested submissions, so worker-thread submits
+// always enqueue immediately. TaskGroup tracks a set of related tasks —
+// including tasks submitted from *inside* other tasks, which is how the
+// engine expresses dependencies (a training job submits its scoring jobs
 // once the model is ready) — and wait() blocks until the whole set has
 // drained. Failures are deterministic regardless of thread interleaving:
 // every task gets a submission index, and wait() rethrows the exception of
@@ -25,8 +29,9 @@ namespace adiv {
 
 class ThreadPool {
 public:
-    /// Spawns `threads` workers; 0 means default_jobs().
-    explicit ThreadPool(std::size_t threads = 0);
+    /// Spawns `threads` workers; 0 means default_jobs(). queue_capacity
+    /// bounds the number of queued-but-not-started tasks; 0 = unbounded.
+    explicit ThreadPool(std::size_t threads = 0, std::size_t queue_capacity = 0);
 
     /// Drains the queue (every submitted task runs), then joins the workers.
     ~ThreadPool();
@@ -36,6 +41,8 @@ public:
 
     /// Enqueues a fire-and-forget task. The task must not throw — use
     /// TaskGroup::run or async() when exceptions need to propagate.
+    /// With a bounded queue, blocks until a slot is free — unless called
+    /// from one of this pool's own workers (nested submissions never block).
     void submit(std::function<void()> task);
 
     /// Enqueues a task whose exceptions propagate through the future.
@@ -45,17 +52,27 @@ public:
         return workers_.size();
     }
 
+    /// Tasks queued and not yet picked up by a worker. A momentary value:
+    /// use for backpressure metrics, not for synchronization.
+    [[nodiscard]] std::size_t queue_depth() const;
+
+    /// The configured capacity; 0 = unbounded.
+    [[nodiscard]] std::size_t queue_capacity() const noexcept { return capacity_; }
+
     /// hardware_concurrency, clamped to at least 1 (the value CLI `--jobs 0`
     /// resolves to).
     static std::size_t default_jobs() noexcept;
 
 private:
     void worker_loop();
+    [[nodiscard]] bool on_worker_thread() const noexcept;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable work_available_;
+    std::condition_variable space_available_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    std::size_t capacity_ = 0;
     bool stopping_ = false;
 };
 

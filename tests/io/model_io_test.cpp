@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/online.hpp"
 #include "support/corpus_fixture.hpp"
 #include "util/error.hpp"
 
@@ -38,6 +39,36 @@ TEST_P(ModelRoundTrip, ReloadedModelScoresIdentically) {
     const EventStream& anomaly_stream =
         test::small_suite().entry(4, dw).stream.stream;
     EXPECT_EQ(restored->score(anomaly_stream), original->score(anomaly_stream));
+}
+
+TEST_P(ModelRoundTrip, ReloadedModelReplaysOnlineIdentically) {
+    // The serving property: a daemon that load_detector()s a model must
+    // produce the same per-window responses through an OnlineScorer as the
+    // process that trained it — event-at-a-time, for every registered kind.
+    const DetectorKind kind = GetParam();
+    DetectorSettings settings;
+    settings.nn.epochs = 150;
+    settings.hmm.iterations = 10;
+    const std::size_t dw = 5;
+    auto original = make_detector(kind, dw, settings);
+    original->train(test::small_corpus().training());
+
+    std::stringstream buffer;
+    save_detector(*original, buffer);
+    const auto restored = load_detector(buffer);
+    ASSERT_NE(restored, nullptr);
+
+    const EventStream heldout = test::small_corpus().generate_heldout(3'000, 7);
+    OnlineScorer trained_side(*original);
+    OnlineScorer loaded_side(*restored);
+    for (std::size_t i = 0; i < heldout.size(); ++i) {
+        const auto expected = trained_side.push(heldout[i]);
+        const auto actual = loaded_side.push(heldout[i]);
+        ASSERT_EQ(actual.has_value(), expected.has_value()) << "event " << i;
+        if (expected) ASSERT_EQ(*actual, *expected) << "event " << i;
+    }
+    EXPECT_EQ(loaded_side.windows_scored(), trained_side.windows_scored());
+    EXPECT_EQ(loaded_side.alarms(), trained_side.alarms());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, ModelRoundTrip,

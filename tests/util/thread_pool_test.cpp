@@ -49,6 +49,75 @@ TEST(ThreadPool, RejectsEmptyTask) {
     EXPECT_THROW(pool.submit(nullptr), InvalidArgument);
 }
 
+TEST(ThreadPool, UnboundedByDefault) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.queue_capacity(), 0u);
+    EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, QueueDepthTracksBacklog) {
+    ThreadPool pool(1, 8);
+    EXPECT_EQ(pool.queue_capacity(), 8u);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.submit([opened] { opened.wait(); });  // occupies the only worker
+    // Give the worker a moment to take the blocker off the queue.
+    for (int i = 0; i < 200 && pool.queue_depth() != 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (int i = 0; i < 5; ++i) pool.submit([] {});
+    EXPECT_EQ(pool.queue_depth(), 5u);
+    gate.set_value();
+}
+
+TEST(ThreadPool, BoundedSubmitBlocksUntilAWorkerFreesASlot) {
+    ThreadPool pool(1, 2);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.submit([opened] { opened.wait(); });
+    // Wait until the worker holds the blocker, then fill the queue exactly.
+    for (int i = 0; i < 200 && pool.queue_depth() != 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_EQ(pool.queue_depth(), 2u);
+
+    std::atomic<bool> producer_done{false};
+    std::thread producer([&] {
+        pool.submit([&ran] { ran.fetch_add(1); });  // queue full: must block
+        producer_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(producer_done.load()) << "submit returned on a full queue";
+    gate.set_value();  // worker drains; a slot frees; producer unblocks
+    producer.join();
+    EXPECT_TRUE(producer_done.load());
+}
+
+TEST(ThreadPool, NestedSubmissionsNeverBlockOnTheBound) {
+    // A worker-thread submit that blocked on a full queue could deadlock
+    // (the only thread able to free a slot would be the one waiting), so
+    // submissions from inside a pool task always enqueue immediately.
+    ThreadPool pool(1, 1);
+    std::atomic<int> leaves{0};
+    pool.submit([&] {
+        for (int i = 0; i < 4; ++i)
+            pool.submit([&leaves] { leaves.fetch_add(1); });
+    });
+    while (leaves.load() < 4) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(leaves.load(), 4);
+}
+
+TEST(ThreadPool, BoundedPoolRunsEverythingThroughBackpressure) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2, 4);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+    }
+    EXPECT_EQ(count.load(), 200);
+}
+
 TEST(TaskGroup, WaitBlocksUntilAllTasksFinish) {
     ThreadPool pool(4);
     TaskGroup group(pool);

@@ -1,0 +1,329 @@
+// adiv_loadgen: concurrent client load for an adiv_serve detection server.
+//
+// Two modes share the same per-session replay (OPEN, batched PUSH, DRAIN,
+// CLOSE, with every response collected and counted):
+//
+//   * TCP mode (--port): drives a running adiv_serve daemon over real
+//     sockets. The CI smoke test uses this.
+//
+//       adiv_loadgen --port 7007 --model monitor.adiv --sessions 8 --verify
+//
+//   * Sweep mode (--sweep-jobs): builds an in-process server per jobs value
+//     over loopback transports — hermetic, no daemon needed — and measures
+//     how throughput scales with the worker pool.
+//
+//       adiv_loadgen --model monitor.adiv --sweep-jobs 1,2,4,0
+//                    --out BENCH_serve_throughput.json
+//
+// Each session replays an independently seeded stream drawn from the
+// paper's cycle-plus-deviations transition matrix (falling back to uniform
+// symbols for tiny alphabets). With --verify (needs --model so the same
+// trained detector exists locally), the scores that came back over the wire
+// are compared BIT-IDENTICALLY against a single-threaded OnlineScorer
+// replay of the same events — the end-to-end determinism check. DRAINED
+// counters must match the client-side tallies exactly (no lost or
+// duplicated responses); any mismatch makes the exit status nonzero.
+//
+// Results (events/s per jobs value, alarms, verification status) go to
+// --out as a single JSON document.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "adiv.hpp"
+
+using namespace adiv;
+
+namespace {
+
+struct LoadSpec {
+    std::size_t sessions = 8;
+    std::size_t events_per_session = 125'000;
+    std::size_t batch = 512;
+    std::string target = "default";
+    std::uint64_t seed = 20050628;
+    bool verify = false;
+    std::size_t scorer_buffer = 0;  // must match the server's --buffer
+};
+
+struct SessionOutcome {
+    std::size_t events = 0;
+    std::size_t windows = 0;
+    std::uint64_t alarms = 0;
+    std::vector<std::string> errors;
+};
+
+/// Per-session replay stream: the paper's cycle matrix when the alphabet can
+/// host it, uniform symbols otherwise. Seeded per session so every session
+/// (and the local verification replay) regenerates the same events.
+Sequence make_session_stream(std::size_t alphabet, std::size_t length,
+                             std::uint64_t seed) {
+    Rng rng(seed);
+    CorpusSpec spec;
+    spec.alphabet_size = alphabet;
+    try {
+        const TransitionMatrix matrix = make_cycle_matrix(spec);
+        const Symbol start = static_cast<Symbol>(rng.below(alphabet));
+        return matrix.generate(length, start, rng).events();
+    } catch (const InvalidArgument&) {
+        Sequence events(length);
+        for (auto& s : events) s = static_cast<Symbol>(rng.below(alphabet));
+        return events;
+    }
+}
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+    if (a.size() != b.size()) return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// One full session against the server behind `transport`. Collects every
+/// score, checks DRAIN/CLOSE counters, optionally replays locally.
+SessionOutcome run_session(std::unique_ptr<serve::Transport> transport,
+                           const LoadSpec& spec, std::size_t index,
+                           const SequenceDetector* local_model) {
+    SessionOutcome outcome;
+    auto fail = [&](std::string what) {
+        outcome.errors.push_back("session " + std::to_string(index) + ": " +
+                                 std::move(what));
+    };
+    try {
+        serve::Client client(std::move(transport));
+        const serve::OpenInfo info = client.open(spec.target);
+        const Sequence events = make_session_stream(
+            info.alphabet, spec.events_per_session, spec.seed + index);
+
+        std::vector<double> scores;
+        if (events.size() >= info.window)
+            scores.reserve(events.size() - info.window + 1);
+        for (std::size_t pos = 0; pos < events.size(); pos += spec.batch) {
+            const std::size_t n = std::min(spec.batch, events.size() - pos);
+            const std::vector<double> batch_scores =
+                client.push(SymbolView(events).subspan(pos, n));
+            scores.insert(scores.end(), batch_scores.begin(), batch_scores.end());
+        }
+
+        const serve::SessionCounts drained = client.drain();
+        if (drained.events != events.size())
+            fail("DRAINED events " + std::to_string(drained.events) +
+                 ", pushed " + std::to_string(events.size()));
+        if (drained.windows != scores.size())
+            fail("DRAINED windows " + std::to_string(drained.windows) +
+                 ", responses received " + std::to_string(scores.size()));
+        const serve::SessionCounts closed = client.close_session();
+        if (closed.windows != drained.windows || closed.events != drained.events)
+            fail("CLOSED counters disagree with DRAINED");
+        client.disconnect();
+
+        if (spec.verify && local_model != nullptr) {
+            OnlineScorer replay(*local_model, spec.scorer_buffer);
+            std::vector<double> expected;
+            expected.reserve(scores.size());
+            for (const Symbol s : events)
+                if (const auto r = replay.push(s)) expected.push_back(*r);
+            if (!bit_identical(scores, expected))
+                fail("served scores differ from local OnlineScorer replay");
+        }
+
+        outcome.events = events.size();
+        outcome.windows = scores.size();
+        outcome.alarms = drained.alarms;
+    } catch (const std::exception& e) {
+        fail(e.what());
+    }
+    return outcome;
+}
+
+struct RunResult {
+    double seconds = 0.0;
+    std::size_t total_events = 0;
+    std::uint64_t total_alarms = 0;
+    std::vector<std::string> errors;
+
+    [[nodiscard]] double events_per_sec() const noexcept {
+        return seconds > 0.0 ? static_cast<double>(total_events) / seconds : 0.0;
+    }
+};
+
+/// Runs `spec.sessions` concurrent sessions; `connect` supplies one fresh
+/// transport per session (a TCP connect or a loopback attach).
+RunResult run_load(
+    const LoadSpec& spec, const SequenceDetector* local_model,
+    const std::function<std::unique_ptr<serve::Transport>(std::size_t)>& connect) {
+    std::vector<SessionOutcome> outcomes(spec.sessions);
+    Stopwatch sw;
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(spec.sessions);
+        for (std::size_t i = 0; i < spec.sessions; ++i)
+            threads.emplace_back([&, i] {
+                outcomes[i] = run_session(connect(i), spec, i, local_model);
+            });
+        for (auto& t : threads) t.join();
+    }
+    RunResult result;
+    result.seconds = sw.seconds();
+    for (const auto& outcome : outcomes) {
+        result.total_events += outcome.events;
+        result.total_alarms += outcome.alarms;
+        result.errors.insert(result.errors.end(), outcome.errors.begin(),
+                             outcome.errors.end());
+    }
+    return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliParser cli("adiv_loadgen",
+                  "concurrent client load against an adiv_serve server");
+    cli.add_option("port", "0", "TCP mode: port of a running adiv_serve");
+    cli.add_option("host", "127.0.0.1", "TCP mode: server host");
+    cli.add_option("sweep-jobs", "",
+                   "sweep mode: comma-separated jobs values (0 = hardware), "
+                   "each run against an in-process loopback server");
+    cli.add_option("model", "",
+                   "trained model file: serves the sweep, verifies TCP runs");
+    cli.add_option("sessions", "8", "concurrent client sessions");
+    cli.add_option("events", "125000", "events pushed per session");
+    cli.add_option("batch", "512", "events per PUSH frame");
+    cli.add_option("target", "default", "OPEN target (model name)");
+    cli.add_option("seed", "20050628", "base seed; session i uses seed+i");
+    cli.add_option("queue", "256", "sweep mode: server queue capacity");
+    cli.add_option("buffer", "0",
+                   "scorer buffer (must match the server's --buffer)");
+    cli.add_option("out", "", "write results JSON here");
+    cli.add_flag("verify",
+                 "bit-compare served scores against a local OnlineScorer "
+                 "replay (requires --model)");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        LoadSpec spec;
+        spec.sessions = static_cast<std::size_t>(cli.get_int("sessions"));
+        spec.events_per_session = static_cast<std::size_t>(cli.get_int("events"));
+        spec.batch = static_cast<std::size_t>(cli.get_int("batch"));
+        spec.target = cli.get("target");
+        spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+        spec.verify = cli.get_flag("verify");
+        spec.scorer_buffer = static_cast<std::size_t>(cli.get_int("buffer"));
+        require(spec.sessions > 0, "--sessions must be positive");
+        require(spec.batch > 0, "--batch must be positive");
+
+        std::shared_ptr<const SequenceDetector> model;
+        if (const std::string path = cli.get("model"); !path.empty())
+            model = load_detector_file(path);
+        require(!spec.verify || model != nullptr, "--verify requires --model");
+
+        const std::string sweep = cli.get("sweep-jobs");
+        const int port = cli.get_int("port");
+        require(!sweep.empty() || port > 0, "--port or --sweep-jobs is required");
+
+        struct SweepPoint {
+            std::size_t jobs_requested;
+            std::size_t jobs_resolved;
+            RunResult result;
+        };
+        std::vector<SweepPoint> points;
+        bool failed = false;
+
+        if (!sweep.empty()) {
+            require(model != nullptr, "--sweep-jobs requires --model");
+            std::stringstream list(sweep);
+            std::string item;
+            while (std::getline(list, item, ',')) {
+                const std::size_t jobs =
+                    static_cast<std::size_t>(std::stoul(item));
+                serve::ServerConfig config;
+                config.jobs = jobs;
+                config.queue_capacity =
+                    static_cast<std::size_t>(cli.get_int("queue"));
+                config.scorer_buffer = spec.scorer_buffer;
+                serve::Server server(config);
+                server.add_model(spec.target == "default" ? model->name()
+                                                          : spec.target,
+                                 model);
+                const RunResult result =
+                    run_load(spec, model.get(), [&](std::size_t) {
+                        auto [client_end, server_end] = serve::make_loopback_pair();
+                        require(server.attach(std::move(server_end)),
+                                "server refused connection");
+                        return std::move(client_end);
+                    });
+                server.shutdown();
+                points.push_back({jobs, resolve_jobs(jobs), result});
+                std::printf("jobs %zu (%zu workers): %zu events in %.2fs — "
+                            "%.0f events/s, %llu alarms\n",
+                            jobs, resolve_jobs(jobs), result.total_events,
+                            result.seconds, result.events_per_sec(),
+                            static_cast<unsigned long long>(result.total_alarms));
+                for (const auto& error : result.errors) {
+                    std::fprintf(stderr, "adiv_loadgen: %s\n", error.c_str());
+                    failed = true;
+                }
+            }
+        } else {
+            const std::string host = cli.get("host");
+            const RunResult result =
+                run_load(spec, model.get(), [&](std::size_t) {
+                    return serve::tcp_connect(
+                        host, static_cast<std::uint16_t>(port));
+                });
+            points.push_back({0, 0, result});
+            std::printf("%zu session(s) x %zu events: %zu events in %.2fs — "
+                        "%.0f events/s, %llu alarms%s\n",
+                        spec.sessions, spec.events_per_session,
+                        result.total_events, result.seconds,
+                        result.events_per_sec(),
+                        static_cast<unsigned long long>(result.total_alarms),
+                        spec.verify ? " (verified bit-identical)" : "");
+            for (const auto& error : result.errors) {
+                std::fprintf(stderr, "adiv_loadgen: %s\n", error.c_str());
+                failed = true;
+            }
+        }
+
+        if (const std::string out = cli.get("out"); !out.empty()) {
+            JsonWriter w;
+            w.begin_object();
+            w.key("benchmark").value("serve_throughput");
+            w.key("mode").value(sweep.empty() ? "tcp" : "loopback_sweep");
+            w.key("sessions").value(static_cast<std::uint64_t>(spec.sessions));
+            w.key("events_per_session")
+                .value(static_cast<std::uint64_t>(spec.events_per_session));
+            w.key("batch").value(static_cast<std::uint64_t>(spec.batch));
+            w.key("verified").value(spec.verify && !failed);
+            w.key("results").begin_array();
+            for (const auto& point : points) {
+                w.begin_object();
+                if (!sweep.empty()) {
+                    w.key("jobs").value(
+                        static_cast<std::uint64_t>(point.jobs_requested));
+                    w.key("workers").value(
+                        static_cast<std::uint64_t>(point.jobs_resolved));
+                }
+                w.key("total_events")
+                    .value(static_cast<std::uint64_t>(point.result.total_events));
+                w.key("seconds").value(point.result.seconds);
+                w.key("events_per_sec").value(point.result.events_per_sec());
+                w.key("alarms").value(point.result.total_alarms);
+                w.key("errors")
+                    .value(static_cast<std::uint64_t>(point.result.errors.size()));
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+            std::ofstream file(out);
+            require_data(file.good(), "cannot open '" + out + "'");
+            file << w.str() << '\n';
+            std::printf("results written to %s\n", out.c_str());
+        }
+        return failed ? 1 : 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "adiv_loadgen: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,120 @@
+// adiv_serve: the long-lived detection daemon.
+//
+//   adiv_serve --model monitor.adiv --port 7007
+//   adiv_serve --detector stide --dw 6 --input server.trace --port 0
+//
+// Loads (or trains) a detector once, then serves the adiv_serve wire
+// protocol (src/serve/protocol.hpp) on 127.0.0.1: clients OPEN a session,
+// PUSH events through a per-session OnlineScorer, and receive one response
+// per completed window — plus STATS / DRAIN / CLOSE. The model is shared
+// read-only across all sessions; scoring runs on a bounded worker pool
+// (--jobs) with per-session response ordering.
+//
+// --port 0 binds an ephemeral port; the actual port is printed on the
+// "listening" line (and is what scripts should parse). SIGINT/SIGTERM
+// trigger a graceful drain: queued requests finish, responses flush,
+// connections close, exit 0.
+//
+// --model registers the file's detector as "default" and "<name>/<DW>".
+// --detector KIND --dw N trains on --input (a trace/stream file) or, when
+// --input is absent, on a freshly generated paper corpus (--training-length
+// events). Several sessions can then OPEN "default" or the specific name.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "adiv.hpp"
+
+using namespace adiv;
+
+namespace {
+std::atomic<bool> g_stop{false};
+void handle_stop_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliParser cli("adiv_serve", "serve online anomaly detection over TCP");
+    cli.add_option("model", "", "trained model file (from adiv_train)");
+    cli.add_option("detector", "",
+                   "train this kind instead of loading --model: stide | t-stide "
+                   "| markov | lane-brodley | neural-net | hmm | rule | "
+                   "lookahead-pairs");
+    cli.add_option("dw", "6", "detector window for --detector");
+    cli.add_option("input", "",
+                   "training trace/stream for --detector (default: generated "
+                   "paper corpus)");
+    cli.add_option("training-length", "200000",
+                   "generated-corpus length for --detector without --input");
+    cli.add_option("port", "0", "listen port on 127.0.0.1 (0 = ephemeral)");
+    cli.add_option("jobs", "0", "scoring worker threads (0 = hardware)");
+    cli.add_option("queue", "256",
+                   "backpressure bound: pool queue and per-connection inbox");
+    cli.add_option("buffer", "0", "per-session scorer buffer (0 = 4*DW)");
+    cli.add_flag("allow-paths", "let OPEN name model files on disk");
+    add_observability_options(cli);
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+
+        serve::ServerConfig config;
+        config.jobs = resolve_jobs(static_cast<std::size_t>(cli.get_int("jobs")));
+        config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+        config.scorer_buffer = static_cast<std::size_t>(cli.get_int("buffer"));
+        config.allow_model_paths = cli.get_flag("allow-paths");
+
+        std::shared_ptr<const SequenceDetector> model;
+        if (const std::string path = cli.get("model"); !path.empty()) {
+            model = load_detector_file(path);
+        } else {
+            const std::string kind_name = cli.get("detector");
+            require(!kind_name.empty(), "--model or --detector is required");
+            const std::size_t dw = static_cast<std::size_t>(cli.get_int("dw"));
+            auto detector = make_detector(detector_kind_from_string(kind_name), dw);
+            if (const std::string input = cli.get("input"); !input.empty()) {
+                std::ifstream probe(input);
+                require_data(probe.good(), "cannot open '" + input + "'");
+                std::string tag;
+                probe >> tag;
+                detector->train(tag == "adiv-trace" ? load_trace_file(input).second
+                                                    : load_stream_file(input));
+            } else {
+                CorpusSpec spec;
+                spec.training_length =
+                    static_cast<std::size_t>(cli.get_int("training-length"));
+                detector->train(TrainingCorpus::generate(spec).training());
+            }
+            model = std::move(detector);
+        }
+        const std::string model_name =
+            model->name() + "/" + std::to_string(model->window_length());
+
+        RunManifest manifest = make_manifest("adiv_serve");
+        manifest.detector = model->name();
+        manifest.alphabet_size = model->alphabet_size();
+        manifest.min_window = manifest.max_window = model->window_length();
+        ObsSession obs(cli, std::move(manifest));
+
+        serve::Server server(config);
+        server.add_model(model_name, model);
+
+        serve::TcpListener listener(
+            static_cast<std::uint16_t>(cli.get_int("port")));
+        std::signal(SIGINT, handle_stop_signal);
+        std::signal(SIGTERM, handle_stop_signal);
+        std::printf("adiv_serve: listening on 127.0.0.1:%u (model=%s, jobs=%zu, "
+                    "queue=%zu)\n",
+                    static_cast<unsigned>(listener.port()), model_name.c_str(),
+                    config.jobs, config.queue_capacity);
+        std::fflush(stdout);
+
+        server.serve(listener, [] { return g_stop.load(); });
+        listener.close();
+        server.shutdown();
+        std::printf("adiv_serve: drained; %zu connection(s) served\n",
+                    server.connections_accepted());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "adiv_serve: %s\n", e.what());
+        return 1;
+    }
+}

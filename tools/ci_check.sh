@@ -7,6 +7,10 @@
 #   tools/ci_check.sh --sanitize thread # also build under TSan (build-tsan/)
 #                                       # and run the parallel-engine tests
 #   tools/ci_check.sh --sanitize all    # both sanitizer passes
+#   tools/ci_check.sh --serve-smoke     # also: train a model, start the
+#                                       # adiv_serve daemon on an ephemeral
+#                                       # port, drive it with adiv_loadgen
+#                                       # (verified), SIGTERM-drain it
 #
 # Exits non-zero on the first failure. Run from the repository root.
 set -eu
@@ -14,6 +18,7 @@ set -eu
 jobs=$(nproc 2>/dev/null || echo 2)
 asan=0
 tsan=0
+serve_smoke=0
 expect_mode=0
 for arg in "$@"; do
     if [ "$expect_mode" -eq 1 ]; then
@@ -32,7 +37,8 @@ for arg in "$@"; do
         --sanitize=thread) tsan=1 ;;
         --sanitize=address|--sanitize=address,undefined) asan=1 ;;
         --sanitize=all) asan=1; tsan=1 ;;
-        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]]" >&2
+        --serve-smoke) serve_smoke=1 ;;
+        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke]" >&2
            exit 2 ;;
     esac
 done
@@ -62,9 +68,43 @@ if [ "$tsan" -eq 1 ]; then
         -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$jobs"
     # The concurrency surface: the pool itself, the scheduler's determinism
-    # suite (jobs > 1 plan runs for all detectors), and the engine sinks.
+    # suite (jobs > 1 plan runs for all detectors), the engine sinks, and the
+    # detection server (transports, strands, concurrent sessions).
     (cd build-tsan && ctest --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims')
+        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims|Framing|Requests|Responses|Loopback|FrameHelpers|Tcp\.|ServerLoopback')
+fi
+
+if [ "$serve_smoke" -eq 1 ]; then
+    echo "== serve smoke: daemon + loadgen over TCP =="
+    smoke_dir=$(mktemp -d)
+    serve_pid=""
+    trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+    ./build/tools/adiv_train --demo-trace "$smoke_dir/demo.trace"
+    ./build/tools/adiv_train --detector stide --window 6 \
+        --input "$smoke_dir/demo.trace" --out "$smoke_dir/model.adiv"
+    ./build/tools/adiv_serve --model "$smoke_dir/model.adiv" --port 0 --jobs 2 \
+        > "$smoke_dir/serve.log" 2>&1 &
+    serve_pid=$!
+    port=""
+    for _ in $(seq 1 50); do
+        port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$smoke_dir/serve.log")
+        [ -n "$port" ] && break
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke_dir/serve.log" >&2; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$port" ] || { echo "serve smoke: daemon never reported a port" >&2; exit 1; }
+    ./build/tools/adiv_loadgen --port "$port" --model "$smoke_dir/model.adiv" \
+        --sessions 8 --events 20000 --verify \
+        --out "$smoke_dir/BENCH_serve_smoke.json"
+    grep -q '"verified":true' "$smoke_dir/BENCH_serve_smoke.json" || {
+        echo "serve smoke: loadgen did not verify" >&2; exit 1; }
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero" >&2; exit 1; }
+    grep -q 'drained' "$smoke_dir/serve.log" || {
+        echo "serve smoke: daemon did not drain cleanly" >&2; exit 1; }
+    rm -rf "$smoke_dir"
+    trap - EXIT
 fi
 
 echo "== ci_check: OK =="
