@@ -1,0 +1,31 @@
+// Fuzz target for model deserialization (io/model_io.cpp). The contract:
+// arbitrary bytes fed to load_detector may produce DataError or
+// InvalidArgument, but never a crash or unbounded allocation. Inputs that do
+// load must yield a trained, scoreable detector whose re-serialization loads
+// again (save/load round-trip stability).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "io/model_io.hpp"
+#include "seq/stream.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    std::istringstream in(text);
+    try {
+        const auto detector = adiv::load_detector(in);
+        if (!detector) return 0;
+
+        // A successfully loaded model must be usable and round-trippable.
+        std::ostringstream out;
+        adiv::save_detector(*detector, out);
+        std::istringstream again(out.str());
+        (void)adiv::load_detector(again);
+    } catch (const adiv::DataError&) {
+    } catch (const adiv::InvalidArgument&) {
+    }
+    return 0;
+}

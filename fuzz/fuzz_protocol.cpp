@@ -1,0 +1,62 @@
+// Fuzz target for the serve wire protocol: framing (FrameDecoder) and the
+// record grammar (parse_request / parse_response). The contract under test:
+// arbitrary bytes may produce DataError, but never a crash, an ADIV_ASSERT
+// failure, or an out-of-bounds read (run under ASan via ci_check.sh).
+//
+// The same entry point serves two drivers: libFuzzer (ADIV_FUZZ=ON with
+// Clang) and the deterministic corpus-replay main in replay_main.cpp.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+    // Framing: feed in two chunks so the partial-frame buffering path is
+    // exercised, then drain. A framing error poisons the stream — stop.
+    adiv::serve::FrameDecoder decoder;
+    try {
+        const std::size_t split = size / 2;
+        decoder.feed(bytes.substr(0, split));
+        while (decoder.next()) {
+        }
+        decoder.feed(bytes.substr(split));
+        while (const auto payload = decoder.next()) {
+            // Every decoded payload is also a candidate record.
+            try {
+                (void)adiv::serve::parse_request(*payload);
+            } catch (const adiv::DataError&) {
+            }
+            try {
+                (void)adiv::serve::parse_response(*payload);
+            } catch (const adiv::DataError&) {
+            }
+        }
+    } catch (const adiv::DataError&) {
+    }
+
+    // Record grammar on the raw input, and round-trip whatever parses:
+    // serialize(parse(x)) must itself parse, and a parsed payload must
+    // survive re-framing.
+    try {
+        const adiv::serve::Request request = adiv::serve::parse_request(bytes);
+        const std::string payload = adiv::serve::serialize(request);
+        (void)adiv::serve::parse_request(payload);
+        adiv::serve::FrameDecoder reframe;
+        reframe.feed(adiv::serve::encode_frame(payload));
+        (void)reframe.next();
+    } catch (const adiv::DataError&) {
+    } catch (const adiv::InvalidArgument&) {
+    }
+    try {
+        const adiv::serve::Response response = adiv::serve::parse_response(bytes);
+        (void)adiv::serve::parse_response(adiv::serve::serialize(response));
+    } catch (const adiv::DataError&) {
+    } catch (const adiv::InvalidArgument&) {
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+// Deterministic corpus-replay driver: the no-libFuzzer fallback that runs in
+// every build, so the fuzz targets' contracts are enforced by plain ctest
+// (and by the ASan job in ci_check.sh --sanitize address).
+//
+// For each file in the corpus directories given on the command line, the
+// driver runs LLVMFuzzerTestOneInput on the raw bytes and then on a fixed
+// family of mutations: prefixes (framing mid-frame truncation), single-byte
+// corruptions at striped offsets, a doubled input (back-to-back frames), and
+// a one-byte garbage suffix. Everything is a pure function of the corpus
+// bytes — no randomness, no time — so failures reproduce exactly.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::size_t g_runs = 0;
+
+void run(const std::string& bytes) {
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++g_runs;
+}
+
+void replay_with_mutations(const std::string& bytes) {
+    run(bytes);
+
+    // Truncations: every prefix for short inputs, eight strides otherwise.
+    const std::size_t step = bytes.size() <= 16 ? 1 : bytes.size() / 8;
+    for (std::size_t len = 0; len < bytes.size(); len += step)
+        run(bytes.substr(0, len));
+
+    // Striped single-byte corruptions (bit flips and digit-range swaps —
+    // length prefixes are decimal text, so '0'..'9' perturbations matter).
+    for (std::size_t pos = 0; pos < bytes.size(); pos += (bytes.size() / 16) + 1) {
+        std::string flipped = bytes;
+        flipped[pos] = static_cast<char>(flipped[pos] ^ 0x20);
+        run(flipped);
+        std::string swapped = bytes;
+        swapped[pos] = static_cast<char>('0' + (swapped[pos] & 0x07));
+        run(swapped);
+    }
+
+    run(bytes + bytes);
+    run(bytes + "\xff");
+    run("\x00" + bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+        return 2;
+    }
+    std::vector<std::filesystem::path> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path arg(argv[i]);
+        if (std::filesystem::is_directory(arg)) {
+            for (const auto& entry : std::filesystem::directory_iterator(arg))
+                if (entry.is_regular_file()) files.push_back(entry.path());
+        } else if (std::filesystem::is_regular_file(arg)) {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr, "error: no such corpus input: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "error: empty corpus\n");
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const auto& file : files) {
+        std::ifstream in(file, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        replay_with_mutations(buffer.str());
+    }
+    std::printf("replayed %zu corpus file(s), %zu total executions\n",
+                files.size(), g_runs);
+    return 0;
+}

@@ -15,11 +15,13 @@
 
 // Utility substrate
 #include "util/cli.hpp"
+#include "util/contracts.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/text_serial.hpp"
 #include "util/thread_pool.hpp"
 
 // Sequence substrate
@@ -61,6 +63,7 @@
 #include "detect/nn_detector.hpp"
 #include "detect/registry.hpp"
 #include "detect/rule_detector.hpp"
+#include "detect/score_memo.hpp"
 #include "detect/stide.hpp"
 #include "detect/tstide.hpp"
 

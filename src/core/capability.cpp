@@ -15,8 +15,7 @@ std::string to_string(ManifestationClass c) {
         case ManifestationClass::Rare: return "rare";
         case ManifestationClass::Foreign: return "foreign";
     }
-    ADIV_ASSERT(false && "unreachable manifestation class");
-    return {};
+    ADIV_UNREACHABLE("unhandled manifestation class");
 }
 
 std::string to_string(CapabilityVerdict v) {
@@ -27,8 +26,7 @@ std::string to_string(CapabilityVerdict v) {
         case CapabilityVerdict::Detected: return "detected";
         case CapabilityVerdict::Inconclusive: return "inconclusive";
     }
-    ADIV_ASSERT(false && "unreachable verdict");
-    return {};
+    ADIV_UNREACHABLE("unhandled verdict");
 }
 
 CapabilityDiagnosis diagnose_capability(const TrainingCorpus& corpus,

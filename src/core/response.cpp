@@ -11,8 +11,7 @@ std::string to_string(DetectionOutcome outcome) {
         case DetectionOutcome::Weak: return "weak";
         case DetectionOutcome::Capable: return "capable";
     }
-    ADIV_ASSERT(false && "unreachable outcome");
-    return {};
+    ADIV_UNREACHABLE("unhandled outcome");
 }
 
 char outcome_glyph(DetectionOutcome outcome) noexcept {

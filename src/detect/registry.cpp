@@ -31,8 +31,7 @@ std::string to_string(DetectorKind kind) {
         case DetectorKind::Rule: return "rule";
         case DetectorKind::LookaheadPairs: return "lookahead-pairs";
     }
-    ADIV_ASSERT(false && "unreachable detector kind");
-    return {};
+    ADIV_UNREACHABLE("unhandled detector kind");
 }
 
 DetectorKind detector_kind_from_string(const std::string& name) {
@@ -63,8 +62,7 @@ std::unique_ptr<SequenceDetector> make_detector(DetectorKind kind,
         case DetectorKind::LookaheadPairs:
             return std::make_unique<LookaheadPairsDetector>(window_length);
     }
-    ADIV_ASSERT(false && "unreachable detector kind");
-    return nullptr;
+    ADIV_UNREACHABLE("unhandled detector kind");
 }
 
 DetectorFactory factory_for(DetectorKind kind, DetectorSettings settings) {

@@ -170,8 +170,7 @@ const SequenceRule& RuleDetector::rule_for(SymbolView context) const {
     require(context.size() == window_length_ - 1, "context length mismatch");
     for (const SequenceRule& rule : *rules_)
         if (rule.matches(context)) return rule;
-    ADIV_ASSERT(false && "default rule must match every context");
-    return rules_->back();
+    ADIV_UNREACHABLE("default rule must match every context");
 }
 
 std::vector<double> RuleDetector::score(const EventStream& test) const {

@@ -75,7 +75,8 @@ PlanRun run_plan(const ExperimentPlan& plan, const EngineOptions& options) {
     std::vector<std::vector<SpanScore>> slots(
         ndet, std::vector<SpanScore>(nas * ndw));
     std::vector<MapTiming> timings(ndet);
-    const auto slot_index = [nas](std::size_t as_idx, std::size_t dw_idx) {
+    const auto slot_index = [nas, ndw](std::size_t as_idx, std::size_t dw_idx) {
+        ADIV_ASSERT(as_idx < nas && dw_idx < ndw);
         return dw_idx * nas + as_idx;
     };
 

@@ -57,7 +57,7 @@ void save_detector(const SequenceDetector& detector, std::ostream& out) {
             dynamic_cast<const LookaheadPairsDetector&>(detector).save_model(out);
             return;
     }
-    ADIV_ASSERT(false && "unreachable detector kind");
+    ADIV_UNREACHABLE("unhandled detector kind");
 }
 
 std::unique_ptr<SequenceDetector> load_detector(std::istream& in) {
@@ -87,8 +87,7 @@ std::unique_ptr<SequenceDetector> load_detector(std::istream& in) {
             return std::make_unique<LookaheadPairsDetector>(
                 LookaheadPairsDetector::load_model(in));
     }
-    ADIV_ASSERT(false && "unreachable detector kind");
-    return nullptr;
+    ADIV_UNREACHABLE("unhandled detector kind");
 }
 
 void save_detector_file(const SequenceDetector& detector, const std::string& path) {

@@ -1,0 +1,236 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace adiv::lint {
+
+namespace {
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view source) : src_(source) {}
+
+    std::vector<Tok> run() {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                at_line_start_ = true;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                ++pos_;
+                continue;
+            }
+            if (c == '#' && at_line_start_) {
+                preprocessor();
+                continue;
+            }
+            at_line_start_ = false;
+            if (c == '/' && peek(1) == '/') {
+                line_comment();
+            } else if (c == '/' && peek(1) == '*') {
+                block_comment();
+            } else if (c == '"') {
+                string_lit();
+            } else if (c == '\'') {
+                char_lit();
+            } else if (c == 'R' && peek(1) == '"') {
+                raw_string();
+            } else if (ident_start(c)) {
+                identifier();
+            } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+                number();
+            } else {
+                punct();
+            }
+        }
+        return std::move(out_);
+    }
+
+private:
+    [[nodiscard]] char peek(std::size_t ahead) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    void emit(TokKind kind, std::string text, std::size_t line) {
+        out_.push_back(Tok{kind, std::move(text), line});
+    }
+
+    void preprocessor() {
+        const std::size_t start_line = line_;
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\\' && peek(1) == '\n') {
+                text += ' ';
+                pos_ += 2;
+                ++line_;
+                continue;
+            }
+            if (c == '\n') break;
+            text += c;
+            ++pos_;
+        }
+        emit(TokKind::Preprocessor, std::move(text), start_line);
+    }
+
+    void line_comment() {
+        const std::size_t start_line = line_;
+        pos_ += 2;
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+        emit(TokKind::Comment, std::move(text), start_line);
+    }
+
+    void block_comment() {
+        const std::size_t start_line = line_;
+        pos_ += 2;
+        std::string text;
+        while (pos_ < src_.size()) {
+            if (src_[pos_] == '*' && peek(1) == '/') {
+                pos_ += 2;
+                break;
+            }
+            if (src_[pos_] == '\n') ++line_;
+            text += src_[pos_++];
+        }
+        emit(TokKind::Comment, std::move(text), start_line);
+    }
+
+    void string_lit() {
+        const std::size_t start_line = line_;
+        ++pos_;  // opening quote
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\\' && pos_ + 1 < src_.size()) {
+                text += c;
+                text += src_[pos_ + 1];
+                if (src_[pos_ + 1] == '\n') ++line_;
+                pos_ += 2;
+                continue;
+            }
+            if (c == '"') {
+                ++pos_;
+                break;
+            }
+            if (c == '\n') break;  // unterminated; stop at the line end
+            text += c;
+            ++pos_;
+        }
+        emit(TokKind::String, std::move(text), start_line);
+    }
+
+    void char_lit() {
+        const std::size_t start_line = line_;
+        ++pos_;  // opening quote
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\\' && pos_ + 1 < src_.size()) {
+                text += c;
+                text += src_[pos_ + 1];
+                pos_ += 2;
+                continue;
+            }
+            if (c == '\'') {
+                ++pos_;
+                break;
+            }
+            if (c == '\n') break;
+            text += c;
+            ++pos_;
+        }
+        emit(TokKind::CharLit, std::move(text), start_line);
+    }
+
+    void raw_string() {
+        const std::size_t start_line = line_;
+        pos_ += 2;  // R"
+        std::string delim;
+        while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+        if (pos_ < src_.size()) ++pos_;  // (
+        const std::string close = ")" + delim + "\"";
+        std::string text;
+        while (pos_ < src_.size()) {
+            if (src_.compare(pos_, close.size(), close) == 0) {
+                pos_ += close.size();
+                break;
+            }
+            if (src_[pos_] == '\n') ++line_;
+            text += src_[pos_++];
+        }
+        emit(TokKind::String, std::move(text), start_line);
+    }
+
+    void identifier() {
+        const std::size_t start_line = line_;
+        std::string text;
+        while (pos_ < src_.size() && ident_char(src_[pos_])) text += src_[pos_++];
+        // String-literal prefixes glued to a quote (u8"...", L"...").
+        if (pos_ < src_.size() && src_[pos_] == '"' &&
+            (text == "u8" || text == "u" || text == "U" || text == "L")) {
+            string_lit();
+            return;
+        }
+        emit(TokKind::Identifier, std::move(text), start_line);
+    }
+
+    void number() {
+        const std::size_t start_line = line_;
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (ident_char(c) || c == '.' || c == '\'') {
+                text += c;
+                ++pos_;
+                continue;
+            }
+            // Exponent signs: 1e+5, 0x1p-3.
+            if ((c == '+' || c == '-') && !text.empty()) {
+                const char prev = text.back();
+                if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+                    text += c;
+                    ++pos_;
+                    continue;
+                }
+            }
+            break;
+        }
+        emit(TokKind::Number, std::move(text), start_line);
+    }
+
+    void punct() {
+        // "::" matters to the rules (std::time vs a range-for ':'); other
+        // multi-character operators can stay split without losing meaning.
+        if (src_[pos_] == ':' && peek(1) == ':') {
+            emit(TokKind::Punct, "::", line_);
+            pos_ += 2;
+            return;
+        }
+        emit(TokKind::Punct, std::string(1, src_[pos_]), line_);
+        ++pos_;
+    }
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    bool at_line_start_ = true;
+    std::vector<Tok> out_;
+};
+
+}  // namespace
+
+std::vector<Tok> lex_cpp(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace adiv::lint

@@ -1,0 +1,41 @@
+// A lightweight C++ tokenizer for the in-tree invariant linter.
+//
+// This is not a compiler front end: it splits source text into just enough
+// token structure — identifiers, literals, comments, preprocessor directives,
+// punctuation — for the rule engine (lint/rules.hpp) to pattern-match
+// project invariants reliably. Crucially it gets the *hard* lexical cases
+// right, because they are exactly where naive grep-based checks lie:
+// banned identifiers inside strings or comments must not fire, suppression
+// comments must be attributed to the correct line, raw strings may contain
+// anything, and `::` must not be confused with two range-for colons.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adiv::lint {
+
+enum class TokKind {
+    Identifier,    // names and keywords (the lexer does not distinguish)
+    Number,        // numeric literal, loosely lexed
+    String,        // "..." or R"(...)" — text excludes the quotes/delimiters
+    CharLit,       // '...' — text excludes the quotes
+    Punct,         // one operator/punctuator; "::" is a single token
+    Comment,       // // or /* */ — text excludes the comment markers
+    Preprocessor,  // one whole directive, continuations folded in
+};
+
+struct Tok {
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    std::size_t line = 0;  // 1-based line of the token's first character
+};
+
+/// Tokenizes C++ source. Never throws on malformed input (an unterminated
+/// string or comment simply ends the token at end-of-file) — the linter must
+/// degrade gracefully on code the compiler would reject.
+std::vector<Tok> lex_cpp(std::string_view source);
+
+}  // namespace adiv::lint

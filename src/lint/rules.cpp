@@ -1,0 +1,421 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "lint/lexer.hpp"
+#include "util/error.hpp"
+
+// The linter is scanned by itself, so this file works only with ordered
+// containers and names the banned APIs exclusively inside string literals.
+
+namespace adiv::lint {
+
+namespace {
+
+struct FileData {
+    const SourceFile* src = nullptr;
+    std::vector<Tok> toks;  // comments stripped; see lex_file()
+    // line -> rules allowed on that line and the next ("all" = wildcard).
+    std::map<std::size_t, std::set<std::string>> suppressions;
+};
+
+// --- suppression comments --------------------------------------------------
+
+void parse_suppression(const Tok& comment, FileData& data) {
+    const std::string& text = comment.text;
+    const std::size_t tag = text.find("adiv-lint:");
+    if (tag == std::string::npos) return;
+    const std::size_t open = text.find("allow(", tag);
+    if (open == std::string::npos) return;
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) return;
+    std::set<std::string>& rules = data.suppressions[comment.line];
+    std::string name;
+    for (std::size_t i = open + 6; i <= close; ++i) {
+        const char c = i < close ? text[i] : ',';
+        if (c == ',' || c == ')') {
+            if (!name.empty()) rules.insert(name);
+            name.clear();
+        } else if (c != ' ' && c != '\t') {
+            name += c;
+        }
+    }
+}
+
+FileData lex_file(const SourceFile& src) {
+    FileData data;
+    data.src = &src;
+    for (Tok& tok : lex_cpp(src.text)) {
+        if (tok.kind == TokKind::Comment) {
+            parse_suppression(tok, data);
+        } else {
+            data.toks.push_back(std::move(tok));
+        }
+    }
+    return data;
+}
+
+// --- token helpers ---------------------------------------------------------
+
+bool is_punct(const std::vector<Tok>& toks, std::size_t i, const char* text) {
+    return i < toks.size() && toks[i].kind == TokKind::Punct && toks[i].text == text;
+}
+
+bool is_ident(const std::vector<Tok>& toks, std::size_t i, const char* text) {
+    return i < toks.size() && toks[i].kind == TokKind::Identifier &&
+           toks[i].text == text;
+}
+
+// --- rule: nondeterminism --------------------------------------------------
+
+const std::set<std::string>& rand_family() {
+    static const std::set<std::string> kRandFamily{
+        "rand",    "srand",   "rand_r",  "drand48", "erand48",
+        "lrand48", "nrand48", "mrand48", "jrand48", "srand48"};
+    return kRandFamily;
+}
+
+void check_nondeterminism(const FileData& data, std::vector<Finding>& out) {
+    const std::vector<Tok>& toks = data.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier) continue;
+        const std::string& name = toks[i].text;
+        if (rand_family().count(name) > 0 && is_punct(toks, i + 1, "(")) {
+            out.push_back({"nondeterminism", data.src->path, toks[i].line,
+                           "call to " + name +
+                               "(): use the seeded util/rng.hpp generators so "
+                               "outputs are a function of the recorded seed"});
+        } else if (name == "random_device") {
+            out.push_back({"nondeterminism", data.src->path, toks[i].line,
+                           "std::random_device draws entropy from the "
+                           "environment; seed a util/rng.hpp generator "
+                           "explicitly instead"});
+        } else if (name == "time") {
+            const bool qualified =
+                i >= 2 && is_punct(toks, i - 1, "::") && is_ident(toks, i - 2, "std");
+            const bool wall_call =
+                is_punct(toks, i + 1, "(") && is_punct(toks, i + 3, ")") &&
+                (is_ident(toks, i + 2, "nullptr") || is_ident(toks, i + 2, "NULL") ||
+                 (i + 2 < toks.size() && toks[i + 2].kind == TokKind::Number &&
+                  toks[i + 2].text == "0"));
+            if (qualified || wall_call) {
+                out.push_back({"nondeterminism", data.src->path, toks[i].line,
+                               "wall-clock read via std::time: route "
+                               "timestamps through the injectable manifest "
+                               "clock (obs/manifest.hpp) so runs replay "
+                               "bit-identically"});
+            }
+        } else if (name == "system_clock" && is_punct(toks, i + 1, "::") &&
+                   is_ident(toks, i + 2, "now")) {
+            out.push_back({"nondeterminism", data.src->path, toks[i].line,
+                           "system_clock::now() is a wall-clock read: use "
+                           "util/stopwatch.hpp (steady_clock) for intervals "
+                           "or the manifest clock for timestamps"});
+        }
+    }
+}
+
+// --- rule: unordered-iteration ---------------------------------------------
+
+const std::set<std::string>& unordered_types() {
+    static const std::set<std::string> kUnordered{
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    return kUnordered;
+}
+
+/// Index just past a balanced template-argument list starting at `i` (which
+/// must be '<'), or `i` when there is none.
+std::size_t skip_template_args(const std::vector<Tok>& toks, std::size_t i) {
+    if (!is_punct(toks, i, "<")) return i;
+    std::size_t depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+        if (is_punct(toks, j, "<")) ++depth;
+        if (is_punct(toks, j, ">") && --depth == 0) return j + 1;
+    }
+    return toks.size();
+}
+
+/// Variable names declared with an unordered container type (or a local
+/// `using` alias of one) in this file.
+void collect_unordered_names(const std::vector<Tok>& toks,
+                             std::set<std::string>& names) {
+    std::set<std::string> aliases;
+    // Pass 1: direct declarations and `using X = std::unordered_...` aliases.
+    std::string pending_alias;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (is_ident(toks, i, "using") && i + 2 < toks.size() &&
+            toks[i + 1].kind == TokKind::Identifier && is_punct(toks, i + 2, "=")) {
+            pending_alias = toks[i + 1].text;
+            continue;
+        }
+        if (is_punct(toks, i, ";")) pending_alias.clear();
+        if (toks[i].kind != TokKind::Identifier ||
+            unordered_types().count(toks[i].text) == 0)
+            continue;
+        if (!pending_alias.empty()) {
+            aliases.insert(pending_alias);
+            pending_alias.clear();
+            continue;
+        }
+        const std::size_t after = skip_template_args(toks, i + 1);
+        // The declared name; skip function declarations (name followed by
+        // '(') — a call result is a fresh container, not shared state.
+        if (after < toks.size() && toks[after].kind == TokKind::Identifier &&
+            !is_punct(toks, after + 1, "("))
+            names.insert(toks[after].text);
+    }
+    // Pass 2: declarations through a collected alias.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Identifier && aliases.count(toks[i].text) > 0 &&
+            toks[i + 1].kind == TokKind::Identifier &&
+            !is_punct(toks, i + 2, "("))
+            names.insert(toks[i + 1].text);
+    }
+}
+
+void check_unordered_iteration(const FileData& data,
+                               const std::set<std::string>& tracked,
+                               std::vector<Finding>& out) {
+    const std::vector<Tok>& toks = data.toks;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!is_ident(toks, i, "for") || !is_punct(toks, i + 1, "(")) continue;
+        std::size_t depth = 0;
+        bool past_colon = false;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            if (is_punct(toks, j, "(")) ++depth;
+            if (is_punct(toks, j, ")") && --depth == 0) break;
+            if (depth == 1 && is_punct(toks, j, ":")) {
+                past_colon = true;
+                continue;
+            }
+            if (past_colon && toks[j].kind == TokKind::Identifier &&
+                tracked.count(toks[j].text) > 0) {
+                out.push_back(
+                    {"unordered-iteration", data.src->path, toks[i].line,
+                     "range-for over unordered container '" + toks[j].text +
+                         "': iteration order is implementation-defined and "
+                         "must not reach any serialized output (sort first, "
+                         "or fold commutatively and suppress with a "
+                         "justification)"});
+                break;
+            }
+        }
+    }
+}
+
+// --- rule: score-memo ------------------------------------------------------
+
+bool synchronized_type(const std::string& name) {
+    static const std::set<std::string> kGuarded{
+        "ScoreMemo", "mutex",     "shared_mutex", "atomic",
+        "atomic_flag", "once_flag", "condition_variable"};
+    return kGuarded.count(name) > 0;
+}
+
+void check_score_memo(const FileData& data, std::vector<Finding>& out) {
+    if (data.src->path.find("detect/") == std::string::npos) return;
+    const std::vector<Tok>& toks = data.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!is_ident(toks, i, "mutable")) continue;
+        // Lambda `mutable` qualifier, not a member declaration.
+        if (is_punct(toks, i + 1, "{") || is_punct(toks, i + 1, "-") ||
+            is_punct(toks, i + 1, ")") || is_ident(toks, i + 1, "noexcept"))
+            continue;
+        bool guarded = false;
+        for (std::size_t j = i + 1; j < toks.size() && j < i + 60; ++j) {
+            if (is_punct(toks, j, ";")) break;
+            if (toks[j].kind == TokKind::Identifier &&
+                synchronized_type(toks[j].text)) {
+                guarded = true;
+                break;
+            }
+        }
+        if (!guarded)
+            out.push_back(
+                {"score-memo", data.src->path, toks[i].line,
+                 "mutable member in a detector without ScoreMemo/mutex/atomic "
+                 "guarding: concurrent score() calls (detect/detector.hpp "
+                 "contract) would race on it"});
+    }
+}
+
+// --- rule: metric-name -----------------------------------------------------
+
+bool valid_metric_name(const std::string& name) {
+    std::size_t segments = 0;
+    std::size_t pos = 0;
+    while (pos <= name.size()) {
+        const std::size_t dot = std::min(name.find('.', pos), name.size());
+        if (dot == pos) return false;  // empty segment
+        if (!(name[pos] >= 'a' && name[pos] <= 'z')) return false;
+        for (std::size_t i = pos + 1; i < dot; ++i) {
+            const char c = name[i];
+            const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+            if (!ok) return false;
+        }
+        ++segments;
+        if (dot == name.size()) break;
+        pos = dot + 1;
+    }
+    return segments >= 2;
+}
+
+void check_metric_name(const FileData& data, std::vector<Finding>& out) {
+    static const std::set<std::string> kSinks{"counter", "gauge", "histogram",
+                                             "TraceSpan"};
+    const std::vector<Tok>& toks = data.toks;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier || kSinks.count(toks[i].text) == 0)
+            continue;
+        // Both call shapes: counter("name") and TraceSpan span("name").
+        std::size_t lit = 0;
+        if (is_punct(toks, i + 1, "(") && toks[i + 2].kind == TokKind::String) {
+            lit = i + 2;
+        } else if (i + 3 < toks.size() && toks[i + 1].kind == TokKind::Identifier &&
+                   is_punct(toks, i + 2, "(") &&
+                   toks[i + 3].kind == TokKind::String) {
+            lit = i + 3;
+        } else {
+            continue;
+        }
+        const std::string& name = toks[lit].text;
+        if (!valid_metric_name(name))
+            out.push_back({"metric-name", data.src->path, toks[lit].line,
+                           "instrument name '" + name +
+                               "' violates the `subsystem.metric` convention "
+                               "(dotted lowercase, segments [a-z][a-z0-9_]*)"});
+    }
+}
+
+// --- rule: header-hygiene --------------------------------------------------
+
+bool is_header(const std::string& path) {
+    return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+void check_pragma_once(const FileData& data, std::vector<Finding>& out) {
+    if (!is_header(data.src->path)) return;
+    for (const Tok& tok : data.toks) {
+        if (tok.kind == TokKind::Preprocessor &&
+            tok.text.find("pragma") != std::string::npos &&
+            tok.text.find("once") != std::string::npos)
+            return;
+    }
+    out.push_back({"header-hygiene", data.src->path, 1,
+                   "header is missing `#pragma once`"});
+}
+
+void check_umbrella(const std::vector<FileData>& files, std::vector<Finding>& out) {
+    const FileData* umbrella = nullptr;
+    for (const FileData& data : files)
+        if (data.src->path == "src/adiv.hpp") umbrella = &data;
+    if (umbrella == nullptr) return;
+    std::set<std::string> included;
+    for (const Tok& tok : umbrella->toks) {
+        if (tok.kind != TokKind::Preprocessor) continue;
+        const std::size_t open = tok.text.find('"');
+        const std::size_t close = tok.text.rfind('"');
+        if (open != std::string::npos && close > open)
+            included.insert(tok.text.substr(open + 1, close - open - 1));
+    }
+    for (const FileData& data : files) {
+        const std::string& path = data.src->path;
+        if (!is_header(path) || path.compare(0, 4, "src/") != 0) continue;
+        if (path == "src/adiv.hpp") continue;
+        if (path.find("/lint/") != std::string::npos) continue;  // tooling
+        const std::string rel = path.substr(4);
+        if (included.count(rel) == 0)
+            out.push_back({"header-hygiene", umbrella->src->path, 1,
+                           "umbrella src/adiv.hpp does not include \"" + rel +
+                               "\" — the umbrella must cover the full API"});
+    }
+}
+
+// --- engine ----------------------------------------------------------------
+
+std::string stem_of(const std::string& path) {
+    const std::size_t slash = path.rfind('/');
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+        return path;
+    return path.substr(0, dot);
+}
+
+bool suppressed(const FileData& data, const Finding& finding) {
+    for (std::size_t line = finding.line > 0 ? finding.line - 1 : 0;
+         line <= finding.line; ++line) {
+        const auto it = data.suppressions.find(line);
+        if (it == data.suppressions.end()) continue;
+        if (it->second.count("all") > 0 || it->second.count(finding.rule) > 0)
+            return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<std::string> rule_names() {
+    return {"nondeterminism", "unordered-iteration", "score-memo",
+            "metric-name", "header-hygiene"};
+}
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& sources,
+                              const LintOptions& options) {
+    const std::vector<std::string> known = rule_names();
+    std::set<std::string> enabled(known.begin(), known.end());
+    if (!options.rules.empty()) {
+        enabled.clear();
+        for (const std::string& rule : options.rules) {
+            require(std::find(known.begin(), known.end(), rule) != known.end(),
+                    "unknown lint rule '" + rule + "'");
+            enabled.insert(rule);
+        }
+    }
+
+    std::vector<FileData> files;
+    files.reserve(sources.size());
+    for (const SourceFile& src : sources) files.push_back(lex_file(src));
+
+    // unordered-iteration tracks declarations across a .hpp/.cpp twin pair.
+    std::map<std::string, std::set<std::string>> names_by_stem;
+    if (enabled.count("unordered-iteration") > 0)
+        for (const FileData& data : files)
+            collect_unordered_names(data.toks, names_by_stem[stem_of(data.src->path)]);
+
+    std::vector<Finding> findings;
+    for (const FileData& data : files) {
+        std::vector<Finding> raw;
+        if (enabled.count("nondeterminism") > 0) check_nondeterminism(data, raw);
+        if (enabled.count("unordered-iteration") > 0)
+            check_unordered_iteration(data, names_by_stem[stem_of(data.src->path)],
+                                      raw);
+        if (enabled.count("score-memo") > 0) check_score_memo(data, raw);
+        if (enabled.count("metric-name") > 0) check_metric_name(data, raw);
+        if (enabled.count("header-hygiene") > 0) check_pragma_once(data, raw);
+        for (Finding& finding : raw)
+            if (!suppressed(data, finding)) findings.push_back(std::move(finding));
+    }
+    if (enabled.count("header-hygiene") > 0) {
+        std::vector<Finding> raw;
+        check_umbrella(files, raw);
+        for (const FileData& data : files)
+            if (data.src->path == "src/adiv.hpp")
+                for (Finding& finding : raw)
+                    if (!suppressed(data, finding))
+                        findings.push_back(std::move(finding));
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  if (a.rule != b.rule) return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    return findings;
+}
+
+}  // namespace adiv::lint

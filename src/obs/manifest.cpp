@@ -1,5 +1,6 @@
 #include "obs/manifest.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <ctime>
 #include <istream>
@@ -22,13 +23,35 @@ RunManifest make_manifest(std::string tool) {
     return manifest;
 }
 
-std::string now_iso8601() {
-    const std::time_t now = std::time(nullptr);
+namespace {
+
+// The one sanctioned wall-clock read: manifests exist to record when a run
+// happened, and every consumer that needs reproducibility pins the clock
+// with set_manifest_clock() instead.
+std::int64_t wall_clock_seconds() {
+    return static_cast<std::int64_t>(std::time(nullptr));  // adiv-lint: allow(nondeterminism)
+}
+
+std::atomic<ManifestClock> g_manifest_clock{nullptr};
+
+}  // namespace
+
+void set_manifest_clock(ManifestClock clock) noexcept {
+    g_manifest_clock.store(clock, std::memory_order_relaxed);
+}
+
+std::string iso8601_utc(std::int64_t seconds_since_epoch) {
+    const std::time_t t = static_cast<std::time_t>(seconds_since_epoch);
     std::tm utc{};
-    gmtime_r(&now, &utc);
+    gmtime_r(&t, &utc);
     char buf[32];
     std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &utc);
     return buf;
+}
+
+std::string now_iso8601() {
+    const ManifestClock clock = g_manifest_clock.load(std::memory_order_relaxed);
+    return iso8601_utc(clock ? clock() : wall_clock_seconds());
 }
 
 std::string build_type_string() { return ADIV_BUILD_TYPE; }

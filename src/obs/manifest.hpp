@@ -41,7 +41,18 @@ struct RunManifest {
 /// Manifest with tool name, build type, and timestamp filled in.
 RunManifest make_manifest(std::string tool);
 
-/// Current UTC time as "YYYY-MM-DDTHH:MM:SSZ".
+/// Source of the seconds-since-epoch value manifests are stamped with.
+using ManifestClock = std::int64_t (*)();
+
+/// Injects the clock used by make_manifest()/now_iso8601(). Pass nullptr to
+/// restore the default wall clock. Tests pin a fixed clock so manifests (and
+/// everything derived from them) are byte-reproducible.
+void set_manifest_clock(ManifestClock clock) noexcept;
+
+/// Formats seconds-since-epoch as "YYYY-MM-DDTHH:MM:SSZ".
+std::string iso8601_utc(std::int64_t seconds_since_epoch);
+
+/// Current time (per the injected clock) as "YYYY-MM-DDTHH:MM:SSZ".
 std::string now_iso8601();
 
 /// The CMake build type this library was compiled under.

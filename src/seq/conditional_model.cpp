@@ -91,6 +91,8 @@ std::uint64_t ConditionalModel::continuation_count(SymbolView context, Symbol ne
 std::vector<ContextDistribution> ConditionalModel::distributions() const {
     std::vector<std::pair<NgramKey, const Entry*>> keyed;
     keyed.reserve(by_context_.size());
+    // Hash order never escapes: the keyed vector is fully sorted below.
+    // adiv-lint: allow(unordered-iteration)
     for (const auto& [key, entry] : by_context_) keyed.emplace_back(key, &entry);
     std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
         if (a.second->total != b.second->total) return a.second->total > b.second->total;

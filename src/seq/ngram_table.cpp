@@ -65,6 +65,9 @@ double NgramTable::relative_frequency_key(NgramKey key) const {
 
 void NgramTable::for_each(
     const std::function<void(NgramKey, std::uint64_t)>& fn) const {
+    // Callback order is unspecified (documented in the header); callers fold
+    // commutatively. Order-sensitive consumers use items_by_count().
+    // adiv-lint: allow(unordered-iteration)
     for (const auto& [key, count] : counts_) fn(key, count);
 }
 

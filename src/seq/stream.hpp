@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "seq/types.hpp"
+#include "util/contracts.hpp"
 
 namespace adiv {
 
@@ -62,8 +63,10 @@ void for_each_window(const EventStream& stream, std::size_t length, Fn&& fn) {
     if (length == 0 || stream.size() < length) return;
     const SymbolView all = stream.view();
     const std::size_t n = stream.size() - length + 1;
-    for (std::size_t pos = 0; pos < n; ++pos)
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        ADIV_ASSERT(pos + length <= all.size());
         fn(pos, all.subspan(pos, length));
+    }
 }
 
 }  // namespace adiv

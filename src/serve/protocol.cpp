@@ -10,7 +10,7 @@
 namespace adiv::serve {
 
 std::string encode_frame(std::string_view payload) {
-    require(payload.size() <= kMaxFramePayload, "frame payload too large");
+    ADIV_REQUIRE(payload.size() <= kMaxFramePayload, "frame payload too large");
     std::string frame = std::to_string(payload.size());
     frame += ' ';
     frame += payload;
@@ -37,6 +37,7 @@ std::optional<std::string> FrameDecoder::next() {
                  "malformed frame: length prefix is not a number");
     require_data(length <= kMaxFramePayload, "malformed frame: payload too large");
     if (buffer_.size() - sep - 1 < length) return std::nullopt;
+    ADIV_ASSERT(sep + 1 + length <= buffer_.size());
     std::string payload = buffer_.substr(sep + 1, length);
     buffer_.erase(0, sep + 1 + length);
     return payload;

@@ -113,6 +113,9 @@ Response SessionManager::handle(std::uint64_t session_id, const Request& request
                 if (const auto score = session->scorer.push(event))
                     response.scores.push_back(*score);
             const std::uint64_t alarms = session->scorer.alarms();
+            // Session-state invariant: alarm counters only move forward, so
+            // the delta reported to the registry can never underflow.
+            ADIV_ASSERT(alarms >= session->alarms_reported);
             alarms_emitted_.add(alarms - session->alarms_reported);
             session->alarms_reported = alarms;
             events_pushed_.add(request.events.size());

@@ -1,14 +1,15 @@
 // Error types and invariant checks shared across the library.
 //
 // The library throws exceptions for contract violations at API boundaries
-// (bad parameters, malformed data) and uses ADIV_ASSERT for internal
-// invariants that indicate a library bug rather than caller error.
+// (bad parameters, malformed data) and uses the util/contracts.hpp macros
+// (ADIV_ASSERT / ADIV_REQUIRE / ADIV_UNREACHABLE) for internal invariants
+// that indicate a library bug rather than caller error.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "util/contracts.hpp"
 
 namespace adiv {
 
@@ -41,16 +42,4 @@ inline void require_data(bool cond, const std::string& message) {
     if (!cond) throw DataError(message);
 }
 
-namespace detail {
-[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
-    std::fprintf(stderr, "adiv internal invariant violated: %s (%s:%d)\n", expr, file, line);
-    std::abort();
-}
-}  // namespace detail
-
 }  // namespace adiv
-
-/// Internal invariant check; active in all build types because the library's
-/// correctness claims (minimality, boundary safety) are the whole point.
-#define ADIV_ASSERT(expr) \
-    ((expr) ? void(0) : ::adiv::detail::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,45 @@
+// Self-scan: the repo's own sources must be free of unsuppressed lint
+// findings. This is the tier-1 guard that keeps the invariants enforced by
+// src/lint from regressing — a new rand() call or an umbrella-header gap
+// fails this test, not just the standalone tool.
+#include "lint/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adiv::lint {
+namespace {
+
+#ifndef ADIV_SOURCE_ROOT
+#error "ADIV_SOURCE_ROOT must be defined by the build (see tests/CMakeLists.txt)"
+#endif
+
+TEST(LintSelfScan, TreeScansCleanly) {
+    const std::vector<SourceFile> sources = collect_tree_sources(ADIV_SOURCE_ROOT);
+    // Sanity: the scan actually saw the tree, not an empty directory.
+    ASSERT_GT(sources.size(), 50u);
+
+    const std::vector<Finding> findings = run_lint(sources, LintOptions{});
+    std::ostringstream report;
+    for (const Finding& finding : findings)
+        report << finding.file << ":" << finding.line << ": [" << finding.rule
+               << "] " << finding.message << "\n";
+    EXPECT_TRUE(findings.empty()) << report.str();
+}
+
+TEST(LintSelfScan, ScanCoversKnownSubsystems) {
+    const std::vector<SourceFile> sources = collect_tree_sources(ADIV_SOURCE_ROOT);
+    bool saw_detect = false, saw_serve = false, saw_tool = false;
+    for (const SourceFile& source : sources) {
+        if (source.path.find("src/detect/") != std::string::npos) saw_detect = true;
+        if (source.path.find("src/serve/") != std::string::npos) saw_serve = true;
+        if (source.path.find("tools/") != std::string::npos) saw_tool = true;
+    }
+    EXPECT_TRUE(saw_detect);
+    EXPECT_TRUE(saw_serve);
+    EXPECT_TRUE(saw_tool);
+}
+
+}  // namespace
+}  // namespace adiv::lint

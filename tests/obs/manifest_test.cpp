@@ -39,6 +39,21 @@ TEST(RunManifest, MakeManifestFillsProvenanceFields) {
     EXPECT_EQ(m.timestamp.back(), 'Z');
 }
 
+TEST(RunManifest, InjectedClockPinsTimestamps) {
+    set_manifest_clock([]() -> std::int64_t { return 1785974400; });
+    const RunManifest first = make_manifest("adiv_train");
+    const RunManifest second = make_manifest("adiv_train");
+    set_manifest_clock(nullptr);
+    EXPECT_EQ(first.timestamp, "2026-08-06T00:00:00Z");
+    // Reproducibility: two runs under the same pinned clock stamp identically.
+    EXPECT_EQ(first.timestamp, second.timestamp);
+}
+
+TEST(RunManifest, Iso8601FormatsEpochSeconds) {
+    EXPECT_EQ(iso8601_utc(0), "1970-01-01T00:00:00Z");
+    EXPECT_EQ(iso8601_utc(1119916800), "2005-06-28T00:00:00Z");  // DSN 2005
+}
+
 TEST(RunManifest, TextSerializerRoundTrip) {
     const RunManifest m = sample_manifest();
     std::ostringstream out;

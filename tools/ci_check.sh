@@ -11,6 +11,12 @@
 #                                       # adiv_serve daemon on an ephemeral
 #                                       # port, drive it with adiv_loadgen
 #                                       # (verified), SIGTERM-drain it
+#   tools/ci_check.sh --lint            # also: adiv_lint self-scan (must be
+#                                       # clean) and, when clang-tidy is on
+#                                       # PATH, clang-tidy over src/
+#
+# All ci_check builds configure with -DADIV_WERROR=ON: warnings that are
+# tolerable interactively are failures at the gate.
 #
 # Exits non-zero on the first failure. Run from the repository root.
 set -eu
@@ -19,6 +25,7 @@ jobs=$(nproc 2>/dev/null || echo 2)
 asan=0
 tsan=0
 serve_smoke=0
+lint=0
 expect_mode=0
 for arg in "$@"; do
     if [ "$expect_mode" -eq 1 ]; then
@@ -38,7 +45,8 @@ for arg in "$@"; do
         --sanitize=address|--sanitize=address,undefined) asan=1 ;;
         --sanitize=all) asan=1; tsan=1 ;;
         --serve-smoke) serve_smoke=1 ;;
-        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke]" >&2
+        --lint) lint=1 ;;
+        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke] [--lint]" >&2
            exit 2 ;;
     esac
 done
@@ -46,15 +54,26 @@ done
 if [ "$expect_mode" -eq 1 ]; then asan=1; fi
 
 echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
+cmake -B build -S . -DADIV_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
+
+if [ "$lint" -eq 1 ]; then
+    echo "== lint: adiv_lint self-scan =="
+    ./build/tools/adiv_lint .
+    if command -v clang-tidy >/dev/null 2>&1; then
+        echo "== lint: clang-tidy over src/ =="
+        find src -name '*.cpp' -print | xargs clang-tidy -p build --quiet
+    else
+        echo "== lint: clang-tidy not on PATH, step skipped =="
+    fi
+fi
 
 if [ "$asan" -eq 1 ]; then
     echo "== sanitizer pass: address,undefined =="
     cmake -B build-san -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DADIV_SANITIZE=address,undefined \
+        -DADIV_SANITIZE=address,undefined -DADIV_WERROR=ON \
         -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
     cmake --build build-san -j "$jobs"
     (cd build-san && ctest --output-on-failure -j "$jobs")
@@ -64,7 +83,7 @@ if [ "$tsan" -eq 1 ]; then
     echo "== sanitizer pass: thread (parallel engine tests) =="
     cmake -B build-tsan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DADIV_SANITIZE=thread \
+        -DADIV_SANITIZE=thread -DADIV_WERROR=ON \
         -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$jobs"
     # The concurrency surface: the pool itself, the scheduler's determinism
