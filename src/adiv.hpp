@@ -6,12 +6,15 @@
 // are evaluated on, and the diversity/coverage analysis built on top.
 #pragma once
 
-// Observability: metrics, trace spans, run manifests
+// Observability: metrics, trace spans, run manifests, live telemetry
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
+#include "obs/traceview.hpp"
 
 // Utility substrate
 #include "util/cli.hpp"
@@ -89,6 +92,7 @@
 
 // Online detection server: wire protocol, transports, sessions, server
 #include "serve/client.hpp"
+#include "serve/http_metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"

@@ -270,17 +270,32 @@ void check_metric_name(const FileData& data, std::vector<Finding>& out) {
     for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
         if (toks[i].kind != TokKind::Identifier || kSinks.count(toks[i].text) == 0)
             continue;
-        // Both call shapes: counter("name") and TraceSpan span("name").
-        std::size_t lit = 0;
-        if (is_punct(toks, i + 1, "(") && toks[i + 2].kind == TokKind::String) {
-            lit = i + 2;
-        } else if (i + 3 < toks.size() && toks[i + 1].kind == TokKind::Identifier &&
-                   is_punct(toks, i + 2, "(") &&
-                   toks[i + 3].kind == TokKind::String) {
-            lit = i + 3;
+        // Call shapes: counter("name"), TraceSpan span("name"), and
+        // TraceSpan span(sink, "name") — locate the argument list, then the
+        // first string literal at its top nesting level. Nested calls keep
+        // their own string arguments out of this site's check.
+        std::size_t open = 0;
+        if (is_punct(toks, i + 1, "(")) {
+            open = i + 1;
+        } else if (toks[i + 1].kind == TokKind::Identifier &&
+                   is_punct(toks, i + 2, "(")) {
+            open = i + 2;
         } else {
             continue;
         }
+        std::size_t lit = 0;
+        std::size_t depth = 0;
+        for (std::size_t j = open; j < toks.size(); ++j) {
+            if (is_punct(toks, j, "(")) {
+                ++depth;
+            } else if (is_punct(toks, j, ")")) {
+                if (--depth == 0) break;
+            } else if (depth == 1 && toks[j].kind == TokKind::String) {
+                lit = j;
+                break;
+            }
+        }
+        if (lit == 0) continue;
         const std::string& name = toks[lit].text;
         if (!valid_metric_name(name))
             out.push_back({"metric-name", data.src->path, toks[lit].line,

@@ -29,8 +29,12 @@
 //
 //   metric-name          String literals passed to counter()/gauge()/
 //                        histogram() or naming a TraceSpan must follow the
-//                        dotted-lowercase convention: `subsystem.metric`,
-//                        segments [a-z][a-z0-9_]*, at least one dot.
+//                        dotted-lowercase convention: `subsystem.metric` for
+//                        registry instruments, `subsystem.span` for trace
+//                        spans; segments [a-z][a-z0-9_]*, at least one dot.
+//                        All constructor shapes are covered, including
+//                        TraceSpan span(sink, "name") where the literal is
+//                        not the first argument.
 //
 //   header-hygiene       Every header carries `#pragma once`, and every
 //                        header under src/ is reachable from the umbrella

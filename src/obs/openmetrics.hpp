@@ -1,0 +1,70 @@
+// OpenMetrics / Prometheus text exposition for the metrics registry.
+//
+// The registry names instruments `subsystem.metric` (enforced by the lint
+// metric-name rule); OpenMetrics names are `[a-zA-Z_:][a-zA-Z0-9_:]*`, so
+// the renderer maps every dot to '_' and prefixes `adiv_`:
+//
+//   serve.events_pushed   (counter)    ->  adiv_serve_events_pushed_total
+//   serve.queue_depth     (gauge)      ->  adiv_serve_queue_depth
+//   serve.push_latency_us (histogram)  ->  adiv_serve_push_latency_us
+//                                          {quantile="0.5"|"0.95"|"0.99"},
+//                                          plus _sum and _count series
+//
+// Histograms are exposed as OpenMetrics summaries (the registry keeps
+// pre-digested percentiles, not cumulative buckets); a zero-sample histogram
+// renders every quantile as 0, never NaN. The exposition ends with `# EOF`
+// so stock Prometheus accepts it as openmetrics-text 1.0.
+//
+// parse_openmetrics() is the matching self-check: it re-parses an exposition
+// into samples and validates the grammar (TYPE before samples, counter
+// `_total` suffixes, finite counter values, terminal `# EOF`). The loadgen
+// --scrape probe and the CI obs-smoke step both go through it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace adiv {
+
+/// Maps a registry instrument name to a valid OpenMetrics metric name:
+/// `adiv_` prefix, dots to underscores, anything outside [a-zA-Z0-9_] to '_'.
+std::string openmetrics_name(std::string_view name);
+
+/// Formats a sample value: decimal for finite doubles, "+Inf"/"-Inf"/"NaN"
+/// for the non-finite values OpenMetrics spells out.
+std::string openmetrics_number(double value);
+
+/// Renders the full exposition (TYPE lines, samples, terminal "# EOF\n").
+std::string metrics_to_openmetrics(const MetricsRegistry& registry);
+
+/// One parsed sample line: `name{labels} value` (labels verbatim, no braces).
+struct OpenMetricsSample {
+    std::string name;
+    std::string labels;
+    double value = 0.0;
+};
+
+/// Parsed exposition: samples in document order plus the family -> type map.
+struct OpenMetricsDocument {
+    std::vector<OpenMetricsSample> samples;
+    std::vector<std::pair<std::string, std::string>> types;  // family, type
+
+    /// First sample matching name (and labels, when given).
+    [[nodiscard]] std::optional<double> value(
+        std::string_view name, std::string_view labels = "") const;
+
+    /// Type declared for a family; empty when undeclared.
+    [[nodiscard]] std::string type_of(std::string_view family) const;
+};
+
+/// Parses and validates an exposition. Throws DataError on any grammar or
+/// consistency violation: malformed names or values, a sample without a
+/// preceding TYPE for its family, a counter sample not ending in `_total`,
+/// a non-finite or negative counter, or a missing / non-terminal `# EOF`.
+OpenMetricsDocument parse_openmetrics(std::string_view text);
+
+}  // namespace adiv

@@ -1,0 +1,408 @@
+#include "obs/traceview.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <optional>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace adiv {
+
+namespace {
+
+// --- minimal JSON-line reader ----------------------------------------------
+// The trace writer (obs/trace.cpp) emits one flat object per line; this
+// reader recovers the top-level string/number fields and skips everything
+// nested (span attrs). It is deliberately private: the repo's JSON contract
+// is still "emit, don't parse" everywhere except this analyzer.
+
+struct FieldValue {
+    bool is_string = false;
+    std::string text;
+    double number = 0.0;
+};
+
+using FlatObject = std::map<std::string, FieldValue>;
+
+class Cursor {
+public:
+    explicit Cursor(const std::string& line) : s_(line) {}
+
+    void skip_ws() {
+        while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+    }
+
+    [[nodiscard]] char peek() const {
+        require_data(i_ < s_.size(), "trace line: truncated JSON");
+        return s_[i_];
+    }
+
+    char get() {
+        const char c = peek();
+        ++i_;
+        return c;
+    }
+
+    void expect(char c) {
+        require_data(get() == c, std::string("trace line: expected '") + c + "'");
+    }
+
+    [[nodiscard]] bool done() const noexcept { return i_ >= s_.size(); }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = get();
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = get();
+            switch (esc) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u':
+                    // Trace output only \u-escapes control bytes; a literal
+                    // placeholder keeps the reader simple.
+                    for (int k = 0; k < 4; ++k) (void)get();
+                    out += '?';
+                    break;
+                default: out += esc;
+            }
+        }
+    }
+
+    double parse_number() {
+        const std::size_t start = i_;
+        while (i_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+                s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' ||
+                s_[i_] == 'e' || s_[i_] == 'E'))
+            ++i_;
+        require_data(i_ > start, "trace line: malformed number");
+        return std::stod(s_.substr(start, i_ - start));
+    }
+
+    void skip_literal(const char* word) {
+        for (const char* p = word; *p != '\0'; ++p) expect(*p);
+    }
+
+    /// Consumes any JSON value without keeping it (nested attrs objects).
+    void skip_value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '"') {
+            (void)parse_string();
+        } else if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            (void)get();
+            skip_ws();
+            if (peek() == close) {
+                (void)get();
+                return;
+            }
+            for (;;) {
+                if (c == '{') {
+                    (void)parse_string();
+                    skip_ws();
+                    expect(':');
+                }
+                skip_value();
+                skip_ws();
+                if (peek() == close) {
+                    (void)get();
+                    return;
+                }
+                expect(',');
+                skip_ws();
+            }
+        } else if (c == 't') {
+            skip_literal("true");
+        } else if (c == 'f') {
+            skip_literal("false");
+        } else if (c == 'n') {
+            skip_literal("null");
+        } else {
+            (void)parse_number();
+        }
+    }
+
+private:
+    const std::string& s_;
+    std::size_t i_ = 0;
+};
+
+FlatObject parse_flat_object(const std::string& line) {
+    Cursor cur(line);
+    FlatObject fields;
+    cur.skip_ws();
+    cur.expect('{');
+    cur.skip_ws();
+    if (cur.peek() == '}') return fields;
+    for (;;) {
+        cur.skip_ws();
+        std::string key = cur.parse_string();
+        cur.skip_ws();
+        cur.expect(':');
+        cur.skip_ws();
+        const char head = cur.peek();
+        FieldValue value;
+        if (head == '"') {
+            value.is_string = true;
+            value.text = cur.parse_string();
+            fields.emplace(std::move(key), std::move(value));
+        } else if (head == '{' || head == '[' || head == 't' || head == 'f' ||
+                   head == 'n') {
+            cur.skip_value();  // nested / non-scalar: not needed here
+        } else {
+            value.number = cur.parse_number();
+            fields.emplace(std::move(key), std::move(value));
+        }
+        cur.skip_ws();
+        const char next = cur.get();
+        if (next == '}') break;
+        require_data(next == ',', "trace line: expected ',' or '}'");
+    }
+    return fields;
+}
+
+const FieldValue* find_string(const FlatObject& fields, const char* key) {
+    const auto it = fields.find(key);
+    return it != fields.end() && it->second.is_string ? &it->second : nullptr;
+}
+
+const FieldValue* find_number(const FlatObject& fields, const char* key) {
+    const auto it = fields.find(key);
+    return it != fields.end() && !it->second.is_string ? &it->second : nullptr;
+}
+
+// --- aggregation -----------------------------------------------------------
+
+/// Completed spans at one depth, waiting for their parent to end.
+struct DepthAccum {
+    double child_total = 0.0;
+    double max_dur = -1.0;
+    std::vector<CriticalPathNode> max_path;  // root-first chain of the
+                                             // longest child at this depth
+};
+
+struct NameAccum {
+    std::uint64_t count = 0;
+    double total = 0.0;
+    double self_total = 0.0;
+    std::vector<double> durations;
+};
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+    const std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace(std::istream& in) {
+    TraceAnalysis analysis;
+    std::map<std::string, NameAccum> by_name;
+    std::vector<DepthAccum> accum;
+    std::optional<RunSummary> run;
+
+    const auto finish_run = [&] {
+        if (!run) return;
+        if (!accum.empty()) {
+            run->root_total_s = accum[0].child_total;
+            run->critical_path = std::move(accum[0].max_path);
+        }
+        accum.clear();
+        analysis.runs.push_back(std::move(*run));
+        run.reset();
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        ++analysis.lines;
+        if (line.empty()) continue;
+        FlatObject fields;
+        try {
+            fields = parse_flat_object(line);
+        } catch (const DataError&) {
+            ++analysis.skipped;
+            continue;
+        }
+        const FieldValue* type = find_string(fields, "type");
+        if (type == nullptr) {
+            ++analysis.skipped;
+            continue;
+        }
+        if (type->text == "manifest") {
+            finish_run();
+            run.emplace();
+            if (const FieldValue* tool = find_string(fields, "tool"))
+                run->tool = tool->text;
+            if (const FieldValue* detector = find_string(fields, "detector"))
+                run->detector = detector->text;
+            if (const FieldValue* ts = find_string(fields, "timestamp"))
+                run->timestamp = ts->text;
+            continue;
+        }
+        if (type->text != "span_end") continue;  // span_begin, metrics_sample
+        const FieldValue* name = find_string(fields, "name");
+        const FieldValue* depth = find_number(fields, "depth");
+        const FieldValue* dur = find_number(fields, "dur_s");
+        if (name == nullptr || depth == nullptr || dur == nullptr ||
+            depth->number < 0) {
+            ++analysis.skipped;
+            continue;
+        }
+        if (!run) run.emplace();  // headerless trace: one anonymous run
+        ++run->spans;
+
+        const auto d = static_cast<std::size_t>(depth->number);
+        const double duration = dur->number;
+        double child_total = 0.0;
+        std::vector<CriticalPathNode> path;
+        if (d + 1 < accum.size()) {
+            child_total = accum[d + 1].child_total;
+            path = std::move(accum[d + 1].max_path);
+        }
+        // Interleaved traces (several threads, one stream) can attribute a
+        // sibling's children here; the clamp keeps self-time sane.
+        const double self = std::max(0.0, duration - child_total);
+        path.insert(path.begin(), CriticalPathNode{name->text, duration, self});
+        accum.resize(d + 1);  // drops consumed deeper levels
+        DepthAccum& mine = accum[d];
+        mine.child_total += duration;
+        if (duration > mine.max_dur) {
+            mine.max_dur = duration;
+            mine.max_path = std::move(path);
+        }
+
+        NameAccum& stats = by_name[name->text];
+        ++stats.count;
+        stats.total += duration;
+        stats.self_total += self;
+        stats.durations.push_back(duration);
+    }
+    finish_run();
+
+    for (auto& [name, stats] : by_name) {
+        std::sort(stats.durations.begin(), stats.durations.end());
+        SpanStats row;
+        row.name = name;
+        row.count = stats.count;
+        row.total_s = stats.total;
+        row.self_s = stats.self_total;
+        row.p50_s = nearest_rank(stats.durations, 0.50);
+        row.p95_s = nearest_rank(stats.durations, 0.95);
+        row.p99_s = nearest_rank(stats.durations, 0.99);
+        row.max_s = stats.durations.back();
+        analysis.spans.push_back(std::move(row));
+    }
+    return analysis;
+}
+
+std::string render_traceview(const TraceAnalysis& analysis) {
+    std::string out;
+    if (analysis.spans.empty()) {
+        out += "(no spans in trace)\n";
+    } else {
+        std::vector<const SpanStats*> order;
+        order.reserve(analysis.spans.size());
+        for (const SpanStats& row : analysis.spans) order.push_back(&row);
+        std::sort(order.begin(), order.end(),
+                  [](const SpanStats* a, const SpanStats* b) {
+                      if (a->total_s != b->total_s) return a->total_s > b->total_s;
+                      return a->name < b->name;
+                  });
+        TextTable table;
+        table.header({"span", "count", "total_s", "self_s", "p50_s", "p95_s",
+                      "p99_s", "max_s"});
+        for (const SpanStats* row : order)
+            table.add(row->name, row->count, fixed(row->total_s, 6),
+                      fixed(row->self_s, 6), fixed(row->p50_s, 6),
+                      fixed(row->p95_s, 6), fixed(row->p99_s, 6),
+                      fixed(row->max_s, 6));
+        out += table.render();
+    }
+    for (std::size_t i = 0; i < analysis.runs.size(); ++i) {
+        const RunSummary& run = analysis.runs[i];
+        out += "\nrun " + std::to_string(i + 1);
+        if (!run.tool.empty()) out += " tool=" + run.tool;
+        if (!run.detector.empty()) out += " detector=" + run.detector;
+        if (!run.timestamp.empty()) out += " at=" + run.timestamp;
+        out += " spans=" + std::to_string(run.spans);
+        out += " roots_total_s=" + fixed(run.root_total_s, 6);
+        out += "\n";
+        if (run.critical_path.empty()) {
+            out += "  (no complete root span)\n";
+            continue;
+        }
+        out += "  critical path:\n";
+        for (std::size_t link = 0; link < run.critical_path.size(); ++link) {
+            const CriticalPathNode& node = run.critical_path[link];
+            out += "  " + std::string(2 * link, ' ') + node.name + "  dur_s=" +
+                   fixed(node.dur_s, 6) + " self_s=" + fixed(node.self_s, 6) +
+                   "\n";
+        }
+    }
+    if (analysis.skipped > 0)
+        out += "\n(" + std::to_string(analysis.skipped) + " of " +
+               std::to_string(analysis.lines) + " lines skipped as malformed)\n";
+    return out;
+}
+
+std::string traceview_to_json(const TraceAnalysis& analysis) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("spans").begin_array();
+    for (const SpanStats& row : analysis.spans) {
+        w.begin_object();
+        w.key("name").value(row.name);
+        w.key("count").value(row.count);
+        w.key("total_s").value(row.total_s);
+        w.key("self_s").value(row.self_s);
+        w.key("p50_s").value(row.p50_s);
+        w.key("p95_s").value(row.p95_s);
+        w.key("p99_s").value(row.p99_s);
+        w.key("max_s").value(row.max_s);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("runs").begin_array();
+    for (const RunSummary& run : analysis.runs) {
+        w.begin_object();
+        w.key("tool").value(run.tool);
+        w.key("detector").value(run.detector);
+        w.key("timestamp").value(run.timestamp);
+        w.key("spans").value(run.spans);
+        w.key("root_total_s").value(run.root_total_s);
+        w.key("critical_path").begin_array();
+        for (const CriticalPathNode& node : run.critical_path) {
+            w.begin_object();
+            w.key("name").value(node.name);
+            w.key("dur_s").value(node.dur_s);
+            w.key("self_s").value(node.self_s);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("lines").value(analysis.lines);
+    w.key("skipped").value(analysis.skipped);
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace adiv

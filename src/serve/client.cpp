@@ -55,6 +55,15 @@ Response Client::stats() {
     return response;
 }
 
+std::string Client::metrics() {
+    Request request;
+    request.type = RequestType::Metrics;
+    Response response = checked(request);
+    require_data(response.type == ResponseType::Metrics,
+                 "unexpected response to METRICS");
+    return std::move(response.exposition);
+}
+
 SessionCounts Client::drain() {
     Request request;
     request.type = RequestType::Drain;

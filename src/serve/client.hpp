@@ -44,6 +44,9 @@ public:
     OpenInfo open(const std::string& target);
     std::vector<double> push(SymbolView events);
     Response stats();
+    /// The server's metrics registry as OpenMetrics exposition text; works
+    /// with or without an open session.
+    std::string metrics();
     SessionCounts drain();
     SessionCounts close_session();
 

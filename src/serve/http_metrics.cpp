@@ -1,0 +1,121 @@
+#include "serve/http_metrics.hpp"
+
+#include <utility>
+
+#include "obs/openmetrics.hpp"
+#include "util/error.hpp"
+
+namespace adiv::serve {
+
+namespace {
+
+constexpr std::string_view kContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+std::string http_response(std::string_view status, std::string_view content_type,
+                          std::string_view body) {
+    std::string out = "HTTP/1.0 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+std::string plain_response(std::string_view status, std::string_view body) {
+    return http_response(status, "text/plain; charset=utf-8", body);
+}
+
+}  // namespace
+
+std::string http_metrics_response(std::string_view request_head,
+                                  const MetricsRegistry& metrics) {
+    // Only the request line matters: "<METHOD> <target> HTTP/<version>".
+    const std::size_t line_end =
+        std::min(request_head.find('\r'), request_head.find('\n'));
+    const std::string_view line = request_head.substr(0, line_end);
+    const std::size_t method_end = line.find(' ');
+    if (method_end == std::string_view::npos)
+        return plain_response("400 Bad Request", "malformed request line\n");
+    const std::size_t target_end = line.find(' ', method_end + 1);
+    if (target_end == std::string_view::npos ||
+        line.compare(target_end + 1, 5, "HTTP/") != 0)
+        return plain_response("400 Bad Request", "malformed request line\n");
+    const std::string_view method = line.substr(0, method_end);
+    const std::string_view target =
+        line.substr(method_end + 1, target_end - method_end - 1);
+    if (method != "GET")
+        return plain_response("405 Method Not Allowed", "only GET is served\n");
+    if (target != "/metrics" && target != "/metrics/")
+        return plain_response("404 Not Found", "try /metrics\n");
+    return http_response("200 OK", kContentType, metrics_to_openmetrics(metrics));
+}
+
+std::string serve_one_http_request(Transport& transport,
+                                   const MetricsRegistry& metrics) {
+    // Read until the end of the header block (or end-of-stream / a size cap
+    // — scrape requests are tiny, anything bigger is not one).
+    std::string head;
+    char buffer[1024];
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos && head.size() < 16384) {
+        const std::size_t n = transport.read_some(buffer, sizeof buffer);
+        if (n == 0) break;
+        head.append(buffer, n);
+    }
+    const std::string response = http_metrics_response(head, metrics);
+    transport.write_all(response.data(), response.size());
+    return response;
+}
+
+HttpMetricsListener::HttpMetricsListener(std::uint16_t port,
+                                         MetricsRegistry& metrics)
+    : metrics_(&metrics), listener_(port) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpMetricsListener::~HttpMetricsListener() { stop(); }
+
+std::uint16_t HttpMetricsListener::port() const noexcept {
+    return listener_.port();
+}
+
+void HttpMetricsListener::stop() {
+    const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_.store(true);
+    listener_.close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::thread& handler : handlers_)
+        if (handler.joinable()) handler.join();
+    handlers_.clear();
+}
+
+void HttpMetricsListener::accept_loop() {
+    while (!stopping_.load()) {
+        std::unique_ptr<Transport> transport;
+        try {
+            transport = listener_.accept(/*timeout_ms=*/100);
+        } catch (const std::exception&) {
+            return;  // listener closed under us during stop()
+        }
+        if (!transport) continue;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handlers_.emplace_back(
+            [this, shared = std::shared_ptr<Transport>(std::move(transport))] {
+                try {
+                    serve_one_http_request(*shared, *metrics_);
+                } catch (const std::exception&) {
+                    // A dropped scrape connection is the scraper's problem.
+                }
+                shared->close();
+            });
+    }
+}
+
+}  // namespace adiv::serve

@@ -1,0 +1,82 @@
+// HTTP/1.0 scrape endpoint for the detection server's metrics registry.
+//
+// Prometheus-style collectors speak HTTP, not the adiv frame protocol, so
+// the daemon can expose the same OpenMetrics exposition the METRICS verb
+// returns on a second, plain-HTTP port:
+//
+//   GET /metrics HTTP/1.0        -> 200, Content-Type: application/
+//                                   openmetrics-text; version=1.0.0
+//   GET <anything else>          -> 404
+//   non-GET method               -> 405
+//   malformed request line       -> 400
+//
+// Every response carries Content-Length and `Connection: close`; the
+// listener serves one request per connection and closes it — the simplest
+// protocol that every scraper understands, with no keep-alive state to get
+// wrong.
+//
+// The response builder is a pure function over the request head, so the
+// whole HTTP surface is unit-testable without sockets; HttpMetricsListener
+// is a thin accept loop (one background thread, one short-lived handler
+// thread per connection) over the same function.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/transport.hpp"
+
+namespace adiv::serve {
+
+/// Builds the full HTTP response (status line, headers, body) for one
+/// request head. `request_head` is everything up to the end of the header
+/// block; only the request line is examined.
+[[nodiscard]] std::string http_metrics_response(std::string_view request_head,
+                                                const MetricsRegistry& metrics);
+
+/// Reads one HTTP request from the transport, writes the response, and
+/// returns it (for tests / logging). Does not close the transport.
+std::string serve_one_http_request(Transport& transport,
+                                   const MetricsRegistry& metrics);
+
+/// Background accept loop over a TcpListener: each accepted connection gets
+/// one request served and is closed. Construction binds the port (0 =
+/// ephemeral); the destructor stops the loop and joins.
+class HttpMetricsListener {
+public:
+    explicit HttpMetricsListener(std::uint16_t port,
+                                 MetricsRegistry& metrics = global_metrics());
+
+    HttpMetricsListener(const HttpMetricsListener&) = delete;
+    HttpMetricsListener& operator=(const HttpMetricsListener&) = delete;
+
+    /// Calls stop().
+    ~HttpMetricsListener();
+
+    /// The bound port (the ephemeral one when constructed with 0).
+    [[nodiscard]] std::uint16_t port() const noexcept;
+
+    /// Stops accepting, joins the accept loop and every handler. Idempotent.
+    void stop();
+
+private:
+    void accept_loop();
+
+    MetricsRegistry* metrics_;
+    TcpListener listener_;
+    std::atomic<bool> stopping_{false};
+    std::mutex mutex_;  // guards handlers_
+    std::vector<std::thread> handlers_;
+    std::mutex stop_mutex_;  // serializes stop() callers across threads
+    bool stopped_ = false;
+    std::thread accept_thread_;
+};
+
+}  // namespace adiv::serve

@@ -48,6 +48,7 @@ namespace {
 constexpr std::string_view kOpen = "OPEN";
 constexpr std::string_view kPush = "PUSH";
 constexpr std::string_view kStats = "STATS";
+constexpr std::string_view kMetrics = "METRICS";
 constexpr std::string_view kDrain = "DRAIN";
 constexpr std::string_view kClose = "CLOSE";
 constexpr std::string_view kOpened = "OPENED";
@@ -87,6 +88,8 @@ std::string serialize(const Request& request) {
         }
         case RequestType::Stats:
             return std::string(kStats);
+        case RequestType::Metrics:
+            return std::string(kMetrics);
         case RequestType::Drain:
             return std::string(kDrain);
         case RequestType::Close:
@@ -115,6 +118,13 @@ std::string serialize(const Response& response) {
                    " " + std::to_string(response.counts.windows) + " " +
                    std::to_string(response.counts.alarms) + " " +
                    std::to_string(response.active_sessions);
+        case ResponseType::Metrics:
+            // The byte count delimits the raw exposition: it starts after
+            // the single space following the count and runs exactly that
+            // many bytes (newlines included — the frame length covers them).
+            return std::string(kMetrics) + " " +
+                   std::to_string(response.exposition.size()) + " " +
+                   response.exposition;
         case ResponseType::Drained:
         case ResponseType::Closed:
             payload = std::string(response.type == ResponseType::Drained ? kDrained
@@ -152,6 +162,9 @@ Request parse_request(std::string_view payload) {
     } else if (verb == kStats) {
         request.type = RequestType::Stats;
         require_done(in, kStats);
+    } else if (verb == kMetrics) {
+        request.type = RequestType::Metrics;
+        require_done(in, kMetrics);
     } else if (verb == kDrain) {
         request.type = RequestType::Drain;
         require_done(in, kDrain);
@@ -189,6 +202,27 @@ Response parse_response(std::string_view payload) {
         response.counts.alarms = read_u64(in, "alarms");
         response.active_sessions = read_size(in, "active sessions");
         require_done(in, kStats);
+    } else if (verb == kMetrics) {
+        response.type = ResponseType::Metrics;
+        // Raw-byte field: parsed off the payload directly, because the
+        // exposition embeds spaces and newlines that token extraction
+        // would destroy.
+        const std::size_t verb_end = payload.find(' ');
+        require_data(verb_end != std::string_view::npos,
+                     "METRICS is missing its byte count");
+        const std::size_t size_end = payload.find(' ', verb_end + 1);
+        require_data(size_end != std::string_view::npos,
+                     "METRICS is missing its body");
+        std::size_t nbytes = 0;
+        const char* first = payload.data() + verb_end + 1;
+        const char* last = payload.data() + size_end;
+        const auto [end, ec] = std::from_chars(first, last, nbytes);
+        require_data(ec == std::errc() && end == last,
+                     "METRICS byte count is not a number");
+        const std::string_view body = payload.substr(size_end + 1);
+        require_data(body.size() == nbytes,
+                     "METRICS byte count disagrees with its body");
+        response.exposition = std::string(body);
     } else if (verb == kDrained || verb == kClosed) {
         response.type =
             verb == kDrained ? ResponseType::Drained : ResponseType::Closed;

@@ -13,6 +13,9 @@
 //                          the server allows it — a model-file path)
 //   PUSH <id> <id> ...     feed events to the open session's OnlineScorer
 //   STATS                  session + server counters, no state change
+//   METRICS                the server's metrics registry as an OpenMetrics
+//                          exposition; allowed before OPEN (scrape clients
+//                          never open a session)
 //   DRAIN                  barrier: everything pushed before this point has
 //                          been scored and its responses delivered
 //   CLOSE                  end the session, report its final counters
@@ -24,6 +27,10 @@
 //                                   stream order; 17-significant-digit
 //                                   decimal, so doubles round-trip exactly
 //   STATS <events> <windows> <alarms> <active-sessions>
+//   METRICS <nbytes> <exposition>   raw OpenMetrics text; nbytes covers the
+//                                   bytes after the single separator space
+//                                   (the exposition embeds newlines, which
+//                                   the frame length already accounts for)
 //   DRAINED <events> <windows> <alarms>
 //   CLOSED <events> <windows> <alarms>
 //   ERR <message...>                message runs to the end of the payload
@@ -67,7 +74,7 @@ private:
     std::string buffer_;
 };
 
-enum class RequestType { Open, Push, Stats, Drain, Close };
+enum class RequestType { Open, Push, Stats, Metrics, Drain, Close };
 
 struct Request {
     RequestType type = RequestType::Stats;
@@ -82,7 +89,7 @@ struct SessionCounts {
     std::uint64_t alarms = 0;   // responses at/above kMaximalResponse
 };
 
-enum class ResponseType { Opened, Scores, Stats, Drained, Closed, Error };
+enum class ResponseType { Opened, Scores, Stats, Metrics, Drained, Closed, Error };
 
 struct Response {
     ResponseType type = ResponseType::Error;
@@ -96,6 +103,8 @@ struct Response {
     // Stats / Drained / Closed
     SessionCounts counts;
     std::size_t active_sessions = 0;  // Stats only
+    // Metrics: raw OpenMetrics exposition text
+    std::string exposition;
     // Error
     std::string message;
 };

@@ -198,6 +198,9 @@ Response Server::dispatch(Connection& connection, const Request& request) {
             return error_response(open_error.what());
         }
     }
+    // METRICS is session-free by design: scrape clients connect, ask, and
+    // leave without ever opening a session.
+    if (request.type == RequestType::Metrics) return metrics_response(*metrics_);
     if (!connection.has_session) return error_response("no open session");
     Response response = sessions_.handle(connection.session_id, request);
     if (response.type == ResponseType::Closed) connection.has_session = false;

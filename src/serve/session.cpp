@@ -3,10 +3,18 @@
 #include <utility>
 
 #include "io/model_io.hpp"
+#include "obs/openmetrics.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
 namespace adiv::serve {
+
+Response metrics_response(const MetricsRegistry& metrics) {
+    Response response;
+    response.type = ResponseType::Metrics;
+    response.exposition = metrics_to_openmetrics(metrics);
+    return response;
+}
 
 // ---------------------------------------------------------------------------
 // ModelCatalog
@@ -129,6 +137,10 @@ Response SessionManager::handle(std::uint64_t session_id, const Request& request
             response.active_sessions = active_sessions();
             return response;
         }
+        case RequestType::Metrics:
+            // Same answer with or without a session: METRICS reads the
+            // shared registry, not per-session state.
+            return metrics_response(*metrics_);
         case RequestType::Drain: {
             // The server's strand has already handled everything enqueued
             // before this request, so reaching this point IS the barrier.

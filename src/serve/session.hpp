@@ -68,6 +68,11 @@ struct SessionConfig {
     std::size_t scorer_buffer = 0;
 };
 
+/// The METRICS verb's response: the registry rendered as an OpenMetrics
+/// exposition. A free function so the scrape path is unit-testable without
+/// a catalog, sessions, or sockets.
+[[nodiscard]] Response metrics_response(const MetricsRegistry& metrics);
+
 /// Per-session OnlineScorer state over catalog models; request dispatch.
 class SessionManager {
 public:

@@ -207,6 +207,37 @@ TEST(LintMetricName, FlagsTraceSpanNames) {
     EXPECT_EQ(count_rule(findings, "metric-name"), 1u);
 }
 
+TEST(LintMetricName, FlagsSpanNameAfterSinkArgument) {
+    // The literal is the second constructor argument; the rule must still
+    // find it inside the balanced argument list.
+    const auto findings = lint_one("src/x.cpp", R"(
+        void f(std::shared_ptr<TraceSink> sink) {
+            TraceSpan span(sink, "TrainPhase");
+        }
+    )", {"metric-name"});
+    EXPECT_EQ(count_rule(findings, "metric-name"), 1u);
+}
+
+TEST(LintMetricName, NestedCallStringsAreNotThisSitesName) {
+    // make_name("Bad") is a different call site; its literal sits at nesting
+    // depth 2 and must not be attributed to the TraceSpan constructor.
+    const auto findings = lint_one("src/x.cpp", R"(
+        void f(std::shared_ptr<TraceSink> sink) {
+            TraceSpan span(sink, make_name("Bad"));
+        }
+    )", {"metric-name"});
+    EXPECT_EQ(count_rule(findings, "metric-name"), 0u);
+}
+
+TEST(LintMetricName, CleanSpanNameAfterSinkArgument) {
+    const auto findings = lint_one("src/x.cpp", R"(
+        void f(std::shared_ptr<TraceSink> sink) {
+            TraceSpan span(sink, "serve.push");
+        }
+    )", {"metric-name"});
+    EXPECT_EQ(count_rule(findings, "metric-name"), 0u);
+}
+
 TEST(LintMetricName, CleanDottedLowercase) {
     const auto findings = lint_one("src/x.cpp", R"(
         void f(adiv::MetricsRegistry& m) {

@@ -1,0 +1,212 @@
+// Trace analyzer: self-time reconstruction, exact nearest-rank percentiles,
+// run splitting, and the pinned renderings behind adiv_traceview.
+#include "obs/traceview.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace adiv {
+namespace {
+
+// One complete run: map(2.0s) containing train(0.5s) then score(1.0s).
+const char kNestedTrace[] =
+    "{\"type\":\"manifest\",\"tool\":\"adiv_score\",\"detector\":\"stide\","
+    "\"timestamp\":\"2026-08-06T00:00:00Z\"}\n"
+    "{\"type\":\"span_begin\",\"name\":\"experiment.map\",\"depth\":0,\"t\":0}\n"
+    "{\"type\":\"span_begin\",\"name\":\"experiment.train\",\"depth\":1,\"t\":0}\n"
+    "{\"type\":\"span_end\",\"name\":\"experiment.train\",\"depth\":1,\"t\":0,"
+    "\"dur_s\":0.5}\n"
+    "{\"type\":\"span_begin\",\"name\":\"experiment.score\",\"depth\":1,"
+    "\"t\":0.5}\n"
+    "{\"type\":\"span_end\",\"name\":\"experiment.score\",\"depth\":1,\"t\":0.5,"
+    "\"dur_s\":1}\n"
+    "{\"type\":\"span_end\",\"name\":\"experiment.map\",\"depth\":0,\"t\":0,"
+    "\"dur_s\":2}\n";
+
+TraceAnalysis analyze(const std::string& text) {
+    std::istringstream in(text);
+    return analyze_trace(in);
+}
+
+const SpanStats* span_named(const TraceAnalysis& analysis,
+                            const std::string& name) {
+    for (const SpanStats& row : analysis.spans)
+        if (row.name == name) return &row;
+    return nullptr;
+}
+
+TEST(Traceview, ReconstructsSelfTimeFromDepth) {
+    const TraceAnalysis analysis = analyze(kNestedTrace);
+    ASSERT_EQ(analysis.spans.size(), 3u);
+    EXPECT_EQ(analysis.skipped, 0u);
+
+    const SpanStats* map = span_named(analysis, "experiment.map");
+    ASSERT_NE(map, nullptr);
+    EXPECT_EQ(map->count, 1u);
+    EXPECT_EQ(map->total_s, 2.0);
+    EXPECT_EQ(map->self_s, 0.5);  // 2.0 - (0.5 + 1.0) of direct children
+
+    const SpanStats* train = span_named(analysis, "experiment.train");
+    ASSERT_NE(train, nullptr);
+    EXPECT_EQ(train->self_s, 0.5);  // leaf: self == total
+
+    const SpanStats* score = span_named(analysis, "experiment.score");
+    ASSERT_NE(score, nullptr);
+    EXPECT_EQ(score->self_s, 1.0);
+}
+
+TEST(Traceview, BuildsRunSummaryAndCriticalPath) {
+    const TraceAnalysis analysis = analyze(kNestedTrace);
+    ASSERT_EQ(analysis.runs.size(), 1u);
+    const RunSummary& run = analysis.runs[0];
+    EXPECT_EQ(run.tool, "adiv_score");
+    EXPECT_EQ(run.detector, "stide");
+    EXPECT_EQ(run.timestamp, "2026-08-06T00:00:00Z");
+    EXPECT_EQ(run.spans, 3u);
+    EXPECT_EQ(run.root_total_s, 2.0);
+    // Longest root -> its longest direct child: map then score.
+    ASSERT_EQ(run.critical_path.size(), 2u);
+    EXPECT_EQ(run.critical_path[0].name, "experiment.map");
+    EXPECT_EQ(run.critical_path[0].dur_s, 2.0);
+    EXPECT_EQ(run.critical_path[0].self_s, 0.5);
+    EXPECT_EQ(run.critical_path[1].name, "experiment.score");
+    EXPECT_EQ(run.critical_path[1].dur_s, 1.0);
+}
+
+TEST(Traceview, NearestRankPercentilesAreExact) {
+    // 100 spans with durations 1..100s: nearest-rank pN is exactly N.
+    std::string trace;
+    for (int i = 1; i <= 100; ++i)
+        trace += "{\"type\":\"span_end\",\"name\":\"loop.iter\",\"depth\":0,"
+                 "\"t\":0,\"dur_s\":" +
+                 std::to_string(i) + "}\n";
+    const TraceAnalysis analysis = analyze(trace);
+    ASSERT_EQ(analysis.spans.size(), 1u);
+    const SpanStats& row = analysis.spans[0];
+    EXPECT_EQ(row.count, 100u);
+    EXPECT_EQ(row.p50_s, 50.0);
+    EXPECT_EQ(row.p95_s, 95.0);
+    EXPECT_EQ(row.p99_s, 99.0);
+    EXPECT_EQ(row.max_s, 100.0);
+    EXPECT_EQ(row.total_s, 5050.0);
+}
+
+TEST(Traceview, SingleSpanPercentilesCollapseToThatSpan) {
+    const TraceAnalysis analysis = analyze(
+        "{\"type\":\"span_end\",\"name\":\"a.b\",\"depth\":0,\"t\":0,"
+        "\"dur_s\":0.25}\n");
+    ASSERT_EQ(analysis.spans.size(), 1u);
+    EXPECT_EQ(analysis.spans[0].p50_s, 0.25);
+    EXPECT_EQ(analysis.spans[0].p99_s, 0.25);
+}
+
+TEST(Traceview, SkipsAttrsObjectsAndUnknownTypes) {
+    const TraceAnalysis analysis = analyze(
+        "{\"type\":\"span_end\",\"name\":\"a.b\",\"depth\":0,\"t\":0,"
+        "\"dur_s\":1,\"attrs\":{\"k\":\"v\",\"n\":3,\"flag\":true}}\n"
+        "{\"type\":\"metrics_sample\",\"seq\":0}\n"
+        "{\"type\":\"span_begin\",\"name\":\"a.b\",\"depth\":0,\"t\":0}\n");
+    EXPECT_EQ(analysis.skipped, 0u);
+    ASSERT_EQ(analysis.spans.size(), 1u);
+    EXPECT_EQ(analysis.spans[0].total_s, 1.0);
+}
+
+TEST(Traceview, MalformedLinesAreCountedNotFatal) {
+    const TraceAnalysis analysis = analyze(
+        "this is not json\n"
+        "{\"no_type\":1}\n"
+        "{\"type\":\"span_end\",\"name\":\"a.b\",\"depth\":0,\"t\":0}\n"  // no dur
+        "{\"type\":\"span_end\",\"name\":\"a.b\",\"depth\":0,\"t\":0,"
+        "\"dur_s\":1}\n"
+        "{\"type\":\"span_end\",\"dur_s\":2,\"depth\":0\n");  // truncated
+    EXPECT_EQ(analysis.lines, 5u);
+    EXPECT_EQ(analysis.skipped, 4u);
+    ASSERT_EQ(analysis.spans.size(), 1u);
+    EXPECT_EQ(analysis.spans[0].count, 1u);
+}
+
+TEST(Traceview, HeaderlessTraceYieldsOneAnonymousRun) {
+    const TraceAnalysis analysis = analyze(
+        "{\"type\":\"span_end\",\"name\":\"a.b\",\"depth\":0,\"t\":0,"
+        "\"dur_s\":1}\n");
+    ASSERT_EQ(analysis.runs.size(), 1u);
+    EXPECT_EQ(analysis.runs[0].tool, "");
+    EXPECT_EQ(analysis.runs[0].spans, 1u);
+    EXPECT_EQ(analysis.runs[0].root_total_s, 1.0);
+}
+
+TEST(Traceview, MultipleManifestsSplitRuns) {
+    std::string trace = kNestedTrace;
+    trace +=
+        "{\"type\":\"manifest\",\"tool\":\"adiv_serve\",\"detector\":\"\","
+        "\"timestamp\":\"2026-08-06T00:00:01Z\"}\n"
+        "{\"type\":\"span_end\",\"name\":\"serve.push\",\"depth\":0,\"t\":3,"
+        "\"dur_s\":0.5}\n";
+    const TraceAnalysis analysis = analyze(trace);
+    ASSERT_EQ(analysis.runs.size(), 2u);
+    EXPECT_EQ(analysis.runs[0].tool, "adiv_score");
+    EXPECT_EQ(analysis.runs[0].spans, 3u);
+    EXPECT_EQ(analysis.runs[1].tool, "adiv_serve");
+    EXPECT_EQ(analysis.runs[1].spans, 1u);
+    EXPECT_EQ(analysis.runs[1].root_total_s, 0.5);
+    // Span statistics aggregate across runs.
+    EXPECT_EQ(analysis.spans.size(), 4u);
+}
+
+TEST(Traceview, EmptyManifestOnlyTraceReportsTheRun) {
+    const TraceAnalysis analysis = analyze(
+        "{\"type\":\"manifest\",\"tool\":\"adiv_train\",\"detector\":\"lookahead\","
+        "\"timestamp\":\"2026-08-06T00:00:00Z\"}\n");
+    EXPECT_TRUE(analysis.spans.empty());
+    ASSERT_EQ(analysis.runs.size(), 1u);
+    EXPECT_EQ(analysis.runs[0].spans, 0u);
+    EXPECT_TRUE(analysis.runs[0].critical_path.empty());
+}
+
+TEST(Traceview, RenderIsBitIdenticalAcrossAnalyses) {
+    const std::string first = render_traceview(analyze(kNestedTrace));
+    const std::string second = render_traceview(analyze(kNestedTrace));
+    EXPECT_EQ(first, second);
+    // The pinned fixture's table rows, most expensive span first.
+    EXPECT_NE(first.find("experiment.map"), std::string::npos);
+    EXPECT_NE(first.find("2.000000"), std::string::npos);
+    EXPECT_LT(first.find("experiment.map"), first.find("experiment.score"));
+    EXPECT_LT(first.find("experiment.score"), first.find("experiment.train"));
+    EXPECT_NE(first.find("run 1 tool=adiv_score detector=stide "
+                         "at=2026-08-06T00:00:00Z spans=3 "
+                         "roots_total_s=2.000000"),
+              std::string::npos);
+    EXPECT_NE(first.find("critical path:"), std::string::npos);
+}
+
+TEST(Traceview, JsonRenderingIsPinned) {
+    const std::string json = traceview_to_json(analyze(kNestedTrace));
+    EXPECT_EQ(json,
+              "{\"spans\":["
+              "{\"name\":\"experiment.map\",\"count\":1,\"total_s\":2,"
+              "\"self_s\":0.5,\"p50_s\":2,\"p95_s\":2,\"p99_s\":2,\"max_s\":2},"
+              "{\"name\":\"experiment.score\",\"count\":1,\"total_s\":1,"
+              "\"self_s\":1,\"p50_s\":1,\"p95_s\":1,\"p99_s\":1,\"max_s\":1},"
+              "{\"name\":\"experiment.train\",\"count\":1,\"total_s\":0.5,"
+              "\"self_s\":0.5,\"p50_s\":0.5,\"p95_s\":0.5,\"p99_s\":0.5,"
+              "\"max_s\":0.5}],"
+              "\"runs\":[{\"tool\":\"adiv_score\",\"detector\":\"stide\","
+              "\"timestamp\":\"2026-08-06T00:00:00Z\",\"spans\":3,"
+              "\"root_total_s\":2,\"critical_path\":["
+              "{\"name\":\"experiment.map\",\"dur_s\":2,\"self_s\":0.5},"
+              "{\"name\":\"experiment.score\",\"dur_s\":1,\"self_s\":1}]}],"
+              "\"lines\":7,\"skipped\":0}");
+}
+
+TEST(Traceview, EmptyInputRendersPlaceholder) {
+    const TraceAnalysis analysis = analyze("");
+    EXPECT_EQ(analysis.lines, 0u);
+    EXPECT_TRUE(analysis.runs.empty());
+    EXPECT_NE(render_traceview(analysis).find("(no spans in trace)"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace adiv

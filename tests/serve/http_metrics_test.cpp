@@ -1,0 +1,141 @@
+// HTTP scrape endpoint: the pure response builder, the one-request server
+// over a loopback transport, and the TCP listener end to end.
+#include "serve/http_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "serve/transport.hpp"
+
+namespace adiv::serve {
+namespace {
+
+std::string status_line(const std::string& response) {
+    return response.substr(0, response.find("\r\n"));
+}
+
+std::string body_of(const std::string& response) {
+    const std::size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+std::string header_value(const std::string& response, const std::string& name) {
+    const std::string needle = "\r\n" + name + ": ";
+    const std::size_t at = response.find(needle);
+    if (at == std::string::npos) return "";
+    const std::size_t start = at + needle.size();
+    return response.substr(start, response.find("\r\n", start) - start);
+}
+
+TEST(HttpMetrics, GetMetricsReturnsExposition) {
+    MetricsRegistry reg;
+    reg.counter("serve.events_pushed").add(7);
+    const std::string response =
+        http_metrics_response("GET /metrics HTTP/1.0\r\n\r\n", reg);
+    EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+    EXPECT_EQ(header_value(response, "Content-Type"),
+              "application/openmetrics-text; version=1.0.0; charset=utf-8");
+    EXPECT_EQ(header_value(response, "Connection"), "close");
+    const std::string body = body_of(response);
+    EXPECT_EQ(header_value(response, "Content-Length"),
+              std::to_string(body.size()));
+    const OpenMetricsDocument doc = parse_openmetrics(body);
+    EXPECT_EQ(doc.value("adiv_serve_events_pushed_total"), 7.0);
+}
+
+TEST(HttpMetrics, TrailingSlashAlsoMatches) {
+    const MetricsRegistry reg;
+    EXPECT_EQ(status_line(http_metrics_response(
+                  "GET /metrics/ HTTP/1.1\r\nHost: x\r\n\r\n", reg)),
+              "HTTP/1.0 200 OK");
+}
+
+TEST(HttpMetrics, UnknownTargetIs404) {
+    const MetricsRegistry reg;
+    const std::string response =
+        http_metrics_response("GET /other HTTP/1.0\r\n\r\n", reg);
+    EXPECT_EQ(status_line(response), "HTTP/1.0 404 Not Found");
+    EXPECT_EQ(header_value(response, "Content-Length"),
+              std::to_string(body_of(response).size()));
+}
+
+TEST(HttpMetrics, NonGetMethodIs405) {
+    const MetricsRegistry reg;
+    EXPECT_EQ(status_line(
+                  http_metrics_response("POST /metrics HTTP/1.0\r\n\r\n", reg)),
+              "HTTP/1.0 405 Method Not Allowed");
+}
+
+TEST(HttpMetrics, MalformedRequestLineIs400) {
+    const MetricsRegistry reg;
+    EXPECT_EQ(status_line(http_metrics_response("garbage", reg)),
+              "HTTP/1.0 400 Bad Request");
+    EXPECT_EQ(status_line(http_metrics_response("", reg)),
+              "HTTP/1.0 400 Bad Request");
+}
+
+TEST(HttpMetrics, ServesOneRequestOverATransport) {
+    MetricsRegistry reg;
+    reg.counter("serve.events_pushed").add(3);
+    auto [client, server] = make_loopback_pair();
+    const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    client->write_all(request.data(), request.size());
+
+    std::string served;
+    std::thread handler(
+        [&] { served = serve_one_http_request(*server, reg); });
+
+    std::string received;
+    char buffer[4096];
+    for (;;) {
+        const std::size_t n = client->read_some(buffer, sizeof buffer);
+        if (n == 0) break;
+        received.append(buffer, n);
+        // One response, Connection: close — stop once the advertised body
+        // has fully arrived (the loopback end stays open).
+        const std::string body = body_of(received);
+        const std::string length = header_value(received, "Content-Length");
+        if (!length.empty() && body.size() >= std::stoul(length)) break;
+    }
+    handler.join();
+    EXPECT_EQ(received, served);
+    EXPECT_EQ(status_line(received), "HTTP/1.0 200 OK");
+    const OpenMetricsDocument doc = parse_openmetrics(body_of(received));
+    EXPECT_EQ(doc.value("adiv_serve_events_pushed_total"), 3.0);
+}
+
+TEST(HttpMetrics, ListenerAnswersScrapesOverTcp) {
+    MetricsRegistry reg;
+    reg.counter("serve.events_pushed").add(11);
+    HttpMetricsListener listener(0, reg);
+    ASSERT_NE(listener.port(), 0);
+
+    for (int scrape = 0; scrape < 2; ++scrape) {
+        std::unique_ptr<Transport> conn =
+            tcp_connect("127.0.0.1", listener.port());
+        const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+        conn->write_all(request.data(), request.size());
+        std::string response;
+        char buffer[4096];
+        for (;;) {  // listener closes the connection after one response
+            const std::size_t n = conn->read_some(buffer, sizeof buffer);
+            if (n == 0) break;
+            response.append(buffer, n);
+        }
+        EXPECT_EQ(status_line(response), "HTTP/1.0 200 OK");
+        const OpenMetricsDocument doc = parse_openmetrics(body_of(response));
+        EXPECT_EQ(doc.value("adiv_serve_events_pushed_total"), 11.0);
+    }
+
+    listener.stop();
+    listener.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace adiv::serve

@@ -170,5 +170,40 @@ TEST(Responses, RejectsMalformedRecords) {
     EXPECT_THROW((void)parse_response("OPENED 1 stide"), DataError);
 }
 
+TEST(Metrics, RequestRoundTrips) {
+    const Request parsed = parse_request(serialize(Request{RequestType::Metrics}));
+    EXPECT_EQ(parsed.type, RequestType::Metrics);
+    EXPECT_THROW((void)parse_request("METRICS now"), DataError);  // trailing junk
+}
+
+TEST(Metrics, ResponseCarriesExpositionVerbatim) {
+    // The exposition body is length-prefixed inside the payload, so embedded
+    // newlines and spaces — the whole point of the format — survive.
+    Response response;
+    response.type = ResponseType::Metrics;
+    response.exposition =
+        "# TYPE adiv_serve_events_pushed counter\n"
+        "adiv_serve_events_pushed_total 42\n"
+        "# EOF\n";
+    const Response parsed = parse_response(serialize(response));
+    ASSERT_EQ(parsed.type, ResponseType::Metrics);
+    EXPECT_EQ(parsed.exposition, response.exposition);
+}
+
+TEST(Metrics, EmptyExpositionRoundTrips) {
+    Response response;
+    response.type = ResponseType::Metrics;
+    const Response parsed = parse_response(serialize(response));
+    EXPECT_EQ(parsed.type, ResponseType::Metrics);
+    EXPECT_EQ(parsed.exposition, "");
+}
+
+TEST(Metrics, ResponseRejectsSizeMismatch) {
+    EXPECT_THROW((void)parse_response("METRICS 10 short"), DataError);
+    EXPECT_THROW((void)parse_response("METRICS 2 too long"), DataError);
+    EXPECT_THROW((void)parse_response("METRICS banana x"), DataError);
+    EXPECT_THROW((void)parse_response("METRICS"), DataError);
+}
+
 }  // namespace
 }  // namespace adiv::serve

@@ -11,6 +11,7 @@
 
 #include "core/online.hpp"
 #include "detect/registry.hpp"
+#include "obs/openmetrics.hpp"
 #include "serve/client.hpp"
 #include "support/corpus_fixture.hpp"
 
@@ -364,6 +365,43 @@ TEST(ServerLoopback, StatsReportsSessionAndServerCounters) {
     EXPECT_EQ(stats.counts.events, events.size());
     EXPECT_EQ(stats.counts.windows, scores.size());
     EXPECT_EQ(stats.active_sessions, 1u);
+}
+
+TEST(ServerLoopback, MetricsVerbWorksBeforeAnySessionOpens) {
+    MetricsRegistry metrics;
+    metrics.counter("serve.warmup_events").add(5);
+    Server server({}, metrics);
+
+    // METRICS is session-free: a bare monitoring connection never OPENs.
+    Client client(connect(server));
+    const OpenMetricsDocument doc = parse_openmetrics(client.metrics());
+    EXPECT_EQ(doc.value("adiv_serve_warmup_events_total"), 5.0);
+    client.disconnect();
+    server.wait_connections_closed();
+}
+
+TEST(ServerLoopback, MetricsVerbReflectsSessionTraffic) {
+    MetricsRegistry metrics;
+    Server server({.jobs = 2}, metrics);
+    const auto model = trained(DetectorKind::Stide, 6);
+    server.add_model("stide/6", model);
+
+    Client client(connect(server));
+    client.open("stide/6");
+    const EventStream events = test::small_corpus().generate_heldout(500, 9);
+    client.push(events.view());
+    client.drain();
+
+    const OpenMetricsDocument doc = parse_openmetrics(client.metrics());
+    EXPECT_EQ(doc.type_of("adiv_serve_events_pushed"), "counter");
+    EXPECT_EQ(doc.value("adiv_serve_events_pushed_total"),
+              static_cast<double>(events.size()));
+    EXPECT_EQ(doc.value("adiv_serve_sessions_opened_total"), 1.0);
+    EXPECT_EQ(doc.value("adiv_serve_sessions_active"), 1.0);
+
+    client.close_session();
+    client.disconnect();
+    server.wait_connections_closed();
 }
 
 }  // namespace

@@ -24,8 +24,15 @@
 // counters must match the client-side tallies exactly (no lost or
 // duplicated responses); any mismatch makes the exit status nonzero.
 //
+// --scrape drives the METRICS verb concurrently with the load: a scraper
+// connection pulls the OpenMetrics exposition twice mid-run, parses both,
+// and fails the run when any counter moves backwards between scrapes.
+// --scrape-http PORT does the same end-to-end over the daemon's HTTP
+// GET /metrics endpoint (TCP mode only, no curl needed in CI).
+//
 // Results (events/s per jobs value, alarms, verification status) go to
 // --out as a single JSON document.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +52,7 @@ struct LoadSpec {
     std::string target = "default";
     std::uint64_t seed = 20050628;
     bool verify = false;
+    bool scrape = false;  // concurrent METRICS scrapes during the run
     std::size_t scorer_buffer = 0;  // must match the server's --buffer
 };
 
@@ -137,6 +145,76 @@ SessionOutcome run_session(std::unique_ptr<serve::Transport> transport,
     return outcome;
 }
 
+/// Scrapes the server's METRICS verb twice while load runs: both expositions
+/// must parse as OpenMetrics and every `_total` counter must be monotone
+/// non-decreasing between the scrapes.
+std::vector<std::string> scrape_check(
+    const std::function<std::unique_ptr<serve::Transport>(std::size_t)>& connect) {
+    std::vector<std::string> errors;
+    try {
+        serve::Client client(connect(0));
+        const OpenMetricsDocument before = parse_openmetrics(client.metrics());
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        const OpenMetricsDocument after = parse_openmetrics(client.metrics());
+        for (const auto& sample : before.samples) {
+            constexpr std::string_view kTotal = "_total";
+            if (sample.name.size() <= kTotal.size() ||
+                sample.name.compare(sample.name.size() - kTotal.size(),
+                                    kTotal.size(), kTotal) != 0)
+                continue;
+            const std::optional<double> later =
+                after.value(sample.name, sample.labels);
+            if (!later) {
+                errors.push_back("scrape: counter " + sample.name +
+                                 " vanished between scrapes");
+            } else if (*later < sample.value) {
+                errors.push_back("scrape: counter " + sample.name +
+                                 " moved backwards (" +
+                                 std::to_string(sample.value) + " -> " +
+                                 std::to_string(*later) + ")");
+            }
+        }
+        client.disconnect();
+    } catch (const std::exception& e) {
+        errors.push_back(std::string("scrape: ") + e.what());
+    }
+    return errors;
+}
+
+/// One raw HTTP GET against the daemon's --metrics-port: status must be 200
+/// and the body must parse as OpenMetrics.
+std::vector<std::string> scrape_http_check(const std::string& host,
+                                           std::uint16_t port) {
+    std::vector<std::string> errors;
+    try {
+        std::unique_ptr<serve::Transport> transport =
+            serve::tcp_connect(host, port);
+        const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+        transport->write_all(request.data(), request.size());
+        std::string response;
+        char buffer[4096];
+        for (;;) {
+            const std::size_t n = transport->read_some(buffer, sizeof buffer);
+            if (n == 0) break;
+            response.append(buffer, n);
+        }
+        transport->close();
+        if (response.rfind("HTTP/1.0 200", 0) != 0) {
+            errors.push_back("scrape-http: expected HTTP/1.0 200, got '" +
+                             response.substr(0, response.find('\r')) + "'");
+        } else {
+            const std::size_t body = response.find("\r\n\r\n");
+            if (body == std::string::npos)
+                errors.push_back("scrape-http: response has no header/body split");
+            else
+                parse_openmetrics(response.substr(body + 4));  // throws if bad
+        }
+    } catch (const std::exception& e) {
+        errors.push_back(std::string("scrape-http: ") + e.what());
+    }
+    return errors;
+}
+
 struct RunResult {
     double seconds = 0.0;
     std::size_t total_events = 0;
@@ -154,6 +232,7 @@ RunResult run_load(
     const LoadSpec& spec, const SequenceDetector* local_model,
     const std::function<std::unique_ptr<serve::Transport>(std::size_t)>& connect) {
     std::vector<SessionOutcome> outcomes(spec.sessions);
+    std::vector<std::string> scrape_errors;
     Stopwatch sw;
     {
         std::vector<std::thread> threads;
@@ -162,7 +241,13 @@ RunResult run_load(
             threads.emplace_back([&, i] {
                 outcomes[i] = run_session(connect(i), spec, i, local_model);
             });
+        // The scraper rides alongside the load so the exposition is pulled
+        // while counters are actually moving.
+        std::thread scraper;
+        if (spec.scrape)
+            scraper = std::thread([&] { scrape_errors = scrape_check(connect); });
         for (auto& t : threads) t.join();
+        if (scraper.joinable()) scraper.join();
     }
     RunResult result;
     result.seconds = sw.seconds();
@@ -172,6 +257,8 @@ RunResult run_load(
         result.errors.insert(result.errors.end(), outcome.errors.begin(),
                              outcome.errors.end());
     }
+    result.errors.insert(result.errors.end(), scrape_errors.begin(),
+                         scrape_errors.end());
     return result;
 }
 
@@ -199,6 +286,12 @@ int main(int argc, char** argv) {
     cli.add_flag("verify",
                  "bit-compare served scores against a local OnlineScorer "
                  "replay (requires --model)");
+    cli.add_flag("scrape",
+                 "pull METRICS twice mid-run; fail on unparseable exposition "
+                 "or non-monotone counters");
+    cli.add_option("scrape-http", "",
+                   "TCP mode: also GET /metrics from the daemon's "
+                   "--metrics-port at this port");
     try {
         if (!cli.parse(argc, argv)) return 0;
 
@@ -209,6 +302,7 @@ int main(int argc, char** argv) {
         spec.target = cli.get("target");
         spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
         spec.verify = cli.get_flag("verify");
+        spec.scrape = cli.get_flag("scrape");
         spec.scorer_buffer = static_cast<std::size_t>(cli.get_int("buffer"));
         require(spec.sessions > 0, "--sessions must be positive");
         require(spec.batch > 0, "--batch must be positive");
@@ -221,6 +315,8 @@ int main(int argc, char** argv) {
         const std::string sweep = cli.get("sweep-jobs");
         const int port = cli.get_int("port");
         require(!sweep.empty() || port > 0, "--port or --sweep-jobs is required");
+        require(cli.get("scrape-http").empty() || sweep.empty(),
+                "--scrape-http needs TCP mode (--port)");
 
         struct SweepPoint {
             std::size_t jobs_requested;
@@ -283,6 +379,18 @@ int main(int argc, char** argv) {
             for (const auto& error : result.errors) {
                 std::fprintf(stderr, "adiv_loadgen: %s\n", error.c_str());
                 failed = true;
+            }
+            if (const std::string scrape_port = cli.get("scrape-http");
+                !scrape_port.empty()) {
+                const std::vector<std::string> http_errors = scrape_http_check(
+                    host, static_cast<std::uint16_t>(std::stoul(scrape_port)));
+                for (const auto& error : http_errors) {
+                    std::fprintf(stderr, "adiv_loadgen: %s\n", error.c_str());
+                    failed = true;
+                }
+                if (http_errors.empty())
+                    std::printf("GET /metrics on port %s: valid OpenMetrics\n",
+                                scrape_port.c_str());
             }
         }
 

@@ -15,6 +15,11 @@
 // trigger a graceful drain: queued requests finish, responses flush,
 // connections close, exit 0.
 //
+// --metrics-port N additionally serves `GET /metrics` (plain HTTP/1.0,
+// OpenMetrics text) on a second port for Prometheus-style scrapers; the
+// bound port is printed on its own "metrics on" line. The same exposition
+// is available in-protocol via the METRICS verb on the main port.
+//
 // --model registers the file's detector as "default" and "<name>/<DW>".
 // --detector KIND --dw N trains on --input (a trace/stream file) or, when
 // --input is absent, on a freshly generated paper corpus (--training-length
@@ -47,6 +52,9 @@ int main(int argc, char** argv) {
     cli.add_option("training-length", "200000",
                    "generated-corpus length for --detector without --input");
     cli.add_option("port", "0", "listen port on 127.0.0.1 (0 = ephemeral)");
+    cli.add_option("metrics-port", "",
+                   "also serve HTTP GET /metrics (OpenMetrics) on this "
+                   "127.0.0.1 port (0 = ephemeral; empty = off)");
     cli.add_option("jobs", "0", "scoring worker threads (0 = hardware)");
     cli.add_option("queue", "256",
                    "backpressure bound: pool queue and per-connection inbox");
@@ -99,6 +107,13 @@ int main(int argc, char** argv) {
 
         serve::TcpListener listener(
             static_cast<std::uint16_t>(cli.get_int("port")));
+        std::unique_ptr<serve::HttpMetricsListener> scrape;
+        if (!cli.get("metrics-port").empty()) {
+            scrape = std::make_unique<serve::HttpMetricsListener>(
+                static_cast<std::uint16_t>(cli.get_int("metrics-port")));
+            std::printf("adiv_serve: metrics on 127.0.0.1:%u\n",
+                        static_cast<unsigned>(scrape->port()));
+        }
         std::signal(SIGINT, handle_stop_signal);
         std::signal(SIGTERM, handle_stop_signal);
         std::printf("adiv_serve: listening on 127.0.0.1:%u (model=%s, jobs=%zu, "
@@ -109,6 +124,7 @@ int main(int argc, char** argv) {
 
         server.serve(listener, [] { return g_stop.load(); });
         listener.close();
+        if (scrape) scrape->stop();
         server.shutdown();
         std::printf("adiv_serve: drained; %zu connection(s) served\n",
                     server.connections_accepted());

@@ -1,0 +1,54 @@
+// adiv_traceview: aggregate a --trace JSON-lines span stream into tables.
+//
+//   adiv_traceview run.trace.jsonl
+//   adiv_traceview --json run.trace.jsonl other.trace.jsonl
+//   some_tool --trace - 2>&1 | adiv_traceview -
+//
+// Prints one row per span name — count, total time, self time (total minus
+// direct children, reconstructed from the depth column), and exact
+// nearest-rank p50/p95/p99/max — sorted by total time; then one section per
+// run manifest with its critical path (the longest-child chain under the
+// longest root span). --json emits the same content as one JSON document,
+// spans sorted by name. Malformed lines are counted and reported, never
+// fatal, so a trace cut off mid-line still analyzes.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "adiv.hpp"
+
+using namespace adiv;
+
+int main(int argc, char** argv) {
+    CliParser cli("adiv_traceview",
+                  "aggregate a JSON-lines span trace: per-span statistics and "
+                  "per-run critical paths");
+    cli.add_flag("json", "emit one JSON document instead of tables");
+    try {
+        if (!cli.parse(argc, argv)) return 0;
+        const std::vector<std::string>& inputs = cli.positionals();
+        require(!inputs.empty(),
+                "usage: adiv_traceview [--json] TRACE.jsonl ... ('-' = stdin)");
+        std::stringstream merged;
+        for (const std::string& path : inputs) {
+            if (path == "-") {
+                merged << std::cin.rdbuf();
+            } else {
+                std::ifstream in(path);
+                require_data(in.good(), "cannot open '" + path + "'");
+                merged << in.rdbuf();
+            }
+            merged << '\n';  // keep file boundaries from gluing two lines
+        }
+        const TraceAnalysis analysis = analyze_trace(merged);
+        if (cli.get_flag("json"))
+            std::printf("%s\n", traceview_to_json(analysis).c_str());
+        else
+            std::fputs(render_traceview(analysis).c_str(), stdout);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "adiv_traceview: %s\n", e.what());
+        return 1;
+    }
+}

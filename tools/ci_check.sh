@@ -11,6 +11,13 @@
 #                                       # adiv_serve daemon on an ephemeral
 #                                       # port, drive it with adiv_loadgen
 #                                       # (verified), SIGTERM-drain it
+#   tools/ci_check.sh --obs-smoke       # also: run a small instrumented map
+#                                       # experiment (--trace + periodic
+#                                       # --metrics-interval snapshots),
+#                                       # analyze the trace with
+#                                       # adiv_traceview, and scrape a live
+#                                       # daemon (METRICS verb + HTTP
+#                                       # GET /metrics, exposition validated)
 #   tools/ci_check.sh --lint            # also: adiv_lint self-scan (must be
 #                                       # clean) and, when clang-tidy is on
 #                                       # PATH, clang-tidy over src/
@@ -25,6 +32,7 @@ jobs=$(nproc 2>/dev/null || echo 2)
 asan=0
 tsan=0
 serve_smoke=0
+obs_smoke=0
 lint=0
 expect_mode=0
 for arg in "$@"; do
@@ -45,8 +53,9 @@ for arg in "$@"; do
         --sanitize=address|--sanitize=address,undefined) asan=1 ;;
         --sanitize=all) asan=1; tsan=1 ;;
         --serve-smoke) serve_smoke=1 ;;
+        --obs-smoke) obs_smoke=1 ;;
         --lint) lint=1 ;;
-        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke] [--lint]" >&2
+        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke] [--obs-smoke] [--lint]" >&2
            exit 2 ;;
     esac
 done
@@ -87,10 +96,11 @@ if [ "$tsan" -eq 1 ]; then
         -DADIV_BUILD_BENCH=OFF -DADIV_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$jobs"
     # The concurrency surface: the pool itself, the scheduler's determinism
-    # suite (jobs > 1 plan runs for all detectors), the engine sinks, and the
-    # detection server (transports, strands, concurrent sessions).
+    # suite (jobs > 1 plan runs for all detectors), the engine sinks, the
+    # detection server (transports, strands, concurrent sessions), and the
+    # live-telemetry threads (sampler ticks, HTTP scrape listener).
     (cd build-tsan && ctest --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims|Framing|Requests|Responses|Loopback|FrameHelpers|Tcp\.|ServerLoopback')
+        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims|Framing|Requests|Responses|Loopback|FrameHelpers|Tcp\.|ServerLoopback|TelemetrySampler|HttpMetrics')
 fi
 
 if [ "$serve_smoke" -eq 1 ]; then
@@ -122,6 +132,68 @@ if [ "$serve_smoke" -eq 1 ]; then
     wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero" >&2; exit 1; }
     grep -q 'drained' "$smoke_dir/serve.log" || {
         echo "serve smoke: daemon did not drain cleanly" >&2; exit 1; }
+    rm -rf "$smoke_dir"
+    trap - EXIT
+fi
+
+if [ "$obs_smoke" -eq 1 ]; then
+    echo "== obs smoke: instrumented map run + traceview + live scrape =="
+    smoke_dir=$(mktemp -d)
+    serve_pid=""
+    trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+
+    echo "-- obs smoke: small map experiment with live telemetry --"
+    ./build/bench/fig5_stide_map --training-length 20000 --background 512 \
+        --max-anomaly 3 --max-window 4 --jobs 2 \
+        --metrics "$smoke_dir/metrics.json" \
+        --trace "$smoke_dir/trace.jsonl" \
+        --metrics-interval 50 > "$smoke_dir/map.log"
+    [ -s "$smoke_dir/metrics.json" ] || {
+        echo "obs smoke: no final metrics dump" >&2; exit 1; }
+    grep -q '"type":"metrics_sample"' "$smoke_dir/metrics.json.samples.jsonl" || {
+        echo "obs smoke: sampler wrote no snapshot lines" >&2; exit 1; }
+    head -1 "$smoke_dir/trace.jsonl" | grep -q '"type":"manifest"' || {
+        echo "obs smoke: trace does not start with a manifest" >&2; exit 1; }
+
+    echo "-- obs smoke: adiv_traceview over the run's trace --"
+    ./build/tools/adiv_traceview "$smoke_dir/trace.jsonl" > "$smoke_dir/traceview.txt"
+    grep -q 'critical path:' "$smoke_dir/traceview.txt" || {
+        echo "obs smoke: traceview found no critical path" >&2; exit 1; }
+    ./build/tools/adiv_traceview --json "$smoke_dir/trace.jsonl" \
+        | grep -q '"skipped":0' || {
+        echo "obs smoke: traceview skipped lines of its own trace" >&2; exit 1; }
+
+    echo "-- obs smoke: daemon scrape (METRICS verb + HTTP GET /metrics) --"
+    ./build/tools/adiv_train --demo-trace "$smoke_dir/demo.trace"
+    ./build/tools/adiv_train --detector stide --window 6 \
+        --input "$smoke_dir/demo.trace" --out "$smoke_dir/model.adiv"
+    ./build/tools/adiv_serve --model "$smoke_dir/model.adiv" --port 0 --jobs 2 \
+        --metrics-port 0 > "$smoke_dir/serve.log" 2>&1 &
+    serve_pid=$!
+    port=""
+    http_port=""
+    for _ in $(seq 1 50); do
+        port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$smoke_dir/serve.log")
+        http_port=$(sed -n 's/.*metrics on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$smoke_dir/serve.log")
+        [ -n "$port" ] && [ -n "$http_port" ] && break
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke_dir/serve.log" >&2; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$port" ] && [ -n "$http_port" ] || {
+        echo "obs smoke: daemon never reported its ports" >&2; exit 1; }
+    # --scrape pulls the METRICS verb twice mid-run (exposition must parse,
+    # counters must be monotone); --scrape-http validates the HTTP endpoint's
+    # exposition end to end. Both run while sessions are actively scoring.
+    ./build/tools/adiv_loadgen --port "$port" --model "$smoke_dir/model.adiv" \
+        --sessions 4 --events 20000 --scrape --scrape-http "$http_port" \
+        > "$smoke_dir/loadgen.log"
+    grep -q 'valid OpenMetrics' "$smoke_dir/loadgen.log" || {
+        echo "obs smoke: loadgen scrape did not validate" >&2; exit 1; }
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || { echo "obs smoke: daemon exited non-zero" >&2; exit 1; }
+    serve_pid=""
     rm -rf "$smoke_dir"
     trap - EXIT
 fi
