@@ -6,11 +6,14 @@
 // are evaluated on, and the diversity/coverage analysis built on top.
 #pragma once
 
-// Observability: metrics, trace spans, run manifests, live telemetry
+// Observability: metrics, trace spans, run manifests, live telemetry,
+// hot-path profiling (wait sites, stage stamps, flight recorder)
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/openmetrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/sampler.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"

@@ -264,8 +264,11 @@ bool valid_metric_name(const std::string& name) {
 }
 
 void check_metric_name(const FileData& data, std::vector<Finding>& out) {
-    static const std::set<std::string> kSinks{"counter", "gauge", "histogram",
-                                             "TraceSpan"};
+    // wait_site()/site() cover the profiling layer: wait-site names become
+    // `<site>.acquires` / `.contended` / `.wait_us` instruments, so the
+    // site name itself must satisfy the same dotted-lowercase convention.
+    static const std::set<std::string> kSinks{"counter", "gauge",     "histogram",
+                                              "TraceSpan", "wait_site", "site"};
     const std::vector<Tok>& toks = data.toks;
     for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
         if (toks[i].kind != TokKind::Identifier || kSinks.count(toks[i].text) == 0)

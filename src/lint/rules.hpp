@@ -28,13 +28,16 @@
 //                        cache breaks it.
 //
 //   metric-name          String literals passed to counter()/gauge()/
-//                        histogram() or naming a TraceSpan must follow the
-//                        dotted-lowercase convention: `subsystem.metric` for
-//                        registry instruments, `subsystem.span` for trace
-//                        spans; segments [a-z][a-z0-9_]*, at least one dot.
-//                        All constructor shapes are covered, including
-//                        TraceSpan span(sink, "name") where the literal is
-//                        not the first argument.
+//                        histogram(), naming a TraceSpan, or naming a wait
+//                        site (wait_site()/site(), whose names expand into
+//                        `.acquires`/`.contended`/`.wait_us` instruments)
+//                        must follow the dotted-lowercase convention:
+//                        `subsystem.metric` for registry instruments,
+//                        `subsystem.span` for trace spans; segments
+//                        [a-z][a-z0-9_]*, at least one dot. All constructor
+//                        shapes are covered, including TraceSpan
+//                        span(sink, "name") where the literal is not the
+//                        first argument.
 //
 //   header-hygiene       Every header carries `#pragma once`, and every
 //                        header under src/ is reachable from the umbrella

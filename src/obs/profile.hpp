@@ -1,0 +1,253 @@
+// Wait-time accounting for the serve hot path.
+//
+// A *wait site* is a named place where a thread can block: a contended
+// mutex, a full bounded queue, a strand handoff. Each site owns three
+// registry instruments —
+//
+//   <site>.acquires    counter, passes through the site (blocked or not)
+//   <site>.contended   counter, passes that actually blocked
+//   <site>.wait_us     histogram over the blocked passes' wait times
+//
+// — so wait-site data rides the existing OpenMetrics / sampler / METRICS
+// paths for free. ProfiledMutex drops into a std::mutex's place and times
+// contended acquisitions; ProfiledLock does the same for a mutex that must
+// stay a bare std::mutex (because a condition_variable waits on it).
+// WaitSiteThreadPoolProbe adapts the util/thread_pool probe interface onto
+// wait sites, closing the util -> obs layering gap without a dependency.
+//
+// The zero-overhead-when-off contract: instrumentation is gated twice.
+// Compile time: `cmake -DADIV_PROFILE=OFF` makes profiling_enabled() a
+// constexpr false, so every `if (profiling_enabled())` branch — and with it
+// every clock read, histogram record, and JSONL format — is dead code and a
+// ProfiledMutex is exactly a std::mutex. Run time (the default build):
+// profiling starts disabled and costs one relaxed atomic load per guarded
+// branch until set_profiling_enabled(true) turns it on (adiv_serve and
+// adiv_loadgen expose this as --profile).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+#ifndef ADIV_PROFILE
+#define ADIV_PROFILE 1
+#endif
+
+namespace adiv {
+
+/// True when the build carries profiling instrumentation at all.
+constexpr bool profiling_compiled() noexcept { return ADIV_PROFILE != 0; }
+
+#if ADIV_PROFILE
+/// Runtime master switch; starts off. Checked with a relaxed load on every
+/// instrumented path, so toggling mid-run is safe (individual events may
+/// straddle the edge and be half-counted — acceptable for a profiler).
+[[nodiscard]] bool profiling_enabled() noexcept;
+void set_profiling_enabled(bool on) noexcept;
+#else
+[[nodiscard]] constexpr bool profiling_enabled() noexcept { return false; }
+constexpr void set_profiling_enabled(bool) noexcept {}
+#endif
+
+/// Contention sites measure time stolen by other threads (locks, full
+/// queues); Idle sites measure time spent waiting for work to exist (a
+/// worker parked on an empty queue). Only Contention sites compete for
+/// "dominant wait site" — an idle pool is not a bottleneck.
+enum class WaitSiteKind { Contention, Idle };
+
+[[nodiscard]] std::string_view to_string(WaitSiteKind kind) noexcept;
+
+/// One named blocking point. Cheap to hold by reference: recording is two
+/// relaxed counter bumps plus (when blocked) one histogram record.
+class WaitSite {
+public:
+    WaitSite(std::string name, WaitSiteKind kind, MetricsRegistry& metrics);
+
+    /// An uncontended pass: the thread got through without blocking.
+    void record_acquire() noexcept { acquires_.add(1); }
+
+    /// A blocked pass that waited `us` microseconds.
+    void record_wait_us(double us) noexcept {
+        acquires_.add(1);
+        contended_.add(1);
+        wait_us_.record(us);
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] WaitSiteKind kind() const noexcept { return kind_; }
+    [[nodiscard]] std::uint64_t acquires() const noexcept { return acquires_.value(); }
+    [[nodiscard]] std::uint64_t contended() const noexcept { return contended_.value(); }
+    [[nodiscard]] HistogramSummary wait_summary() const { return wait_us_.summary(); }
+
+private:
+    std::string name_;
+    WaitSiteKind kind_;
+    Counter& acquires_;
+    Counter& contended_;
+    Histogram& wait_us_;
+};
+
+/// Point-in-time digest of one site, the unit of reporting.
+struct WaitSiteSummary {
+    std::string name;
+    WaitSiteKind kind = WaitSiteKind::Contention;
+    std::uint64_t acquires = 0;
+    std::uint64_t contended = 0;
+    double wait_us_total = 0.0;
+    double wait_us_mean = 0.0;
+    double wait_us_p95 = 0.0;
+    double wait_us_max = 0.0;
+};
+
+/// Named site store. Like MetricsRegistry: lookup creates on first use,
+/// references stay valid for the registry's lifetime, a site asked for
+/// twice is the same site (the first caller's kind wins).
+class WaitSiteRegistry {
+public:
+    explicit WaitSiteRegistry(MetricsRegistry& metrics = global_metrics());
+
+    WaitSite& site(const std::string& name,
+                   WaitSiteKind kind = WaitSiteKind::Contention);
+
+    /// Name-sorted digests of every registered site.
+    [[nodiscard]] std::vector<WaitSiteSummary> summaries() const;
+
+    /// One `{"type":"wait_site",...}` JSON line per site, name order — the
+    /// stream adiv_traceview --contention aggregates.
+    void write_jsonl(TraceSink& sink) const;
+
+private:
+    MetricsRegistry* metrics_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<WaitSite>> sites_;
+};
+
+/// The process-global site registry (instruments live in global_metrics()).
+WaitSiteRegistry& global_wait_sites();
+
+/// Resolve-once idiom for instrumentation points:
+///   static WaitSite& site = wait_site("serve.session_table");
+WaitSite& wait_site(const std::string& name,
+                    WaitSiteKind kind = WaitSiteKind::Contention);
+
+/// The digest with the largest total wait among Contention sites, or nullptr
+/// when nothing contended. This is the "dominant wait site" the hot-path
+/// bench artifact names.
+[[nodiscard]] const WaitSiteSummary* dominant_wait_site(
+    const std::vector<WaitSiteSummary>& summaries) noexcept;
+
+/// Render one `{"type":"wait_site",...}` JSON line for a digest.
+[[nodiscard]] std::string wait_site_jsonl(const WaitSiteSummary& summary);
+
+/// A std::mutex that attributes contended acquisitions to a wait site.
+/// BasicLockable + Lockable, so std::lock_guard / std::unique_lock work
+/// unchanged. When profiling is off (either gate) lock() is exactly
+/// mutex_.lock().
+class ProfiledMutex {
+public:
+    explicit ProfiledMutex(WaitSite& site) noexcept : site_(&site) {}
+
+    ProfiledMutex(const ProfiledMutex&) = delete;
+    ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+    void lock() {
+        if (!profiling_enabled()) {
+            mutex_.lock();
+            return;
+        }
+        if (mutex_.try_lock()) {
+            site_->record_acquire();
+            return;
+        }
+        const Stopwatch watch;
+        mutex_.lock();
+        site_->record_wait_us(watch.seconds() * 1e6);
+    }
+
+    bool try_lock() { return mutex_.try_lock(); }
+
+    void unlock() { mutex_.unlock(); }
+
+private:
+    std::mutex mutex_;
+    WaitSite* site_;
+};
+
+/// Scoped lock over a *bare* std::mutex with wait-site attribution — for
+/// mutexes that cannot become ProfiledMutex because a condition_variable
+/// waits on them.
+class ProfiledLock {
+public:
+    ProfiledLock(std::mutex& mutex, WaitSite& site) : mutex_(&mutex) {
+        if (!profiling_enabled()) {
+            mutex_->lock();
+            return;
+        }
+        if (mutex_->try_lock()) {
+            site.record_acquire();
+            return;
+        }
+        const Stopwatch watch;
+        mutex_->lock();
+        site.record_wait_us(watch.seconds() * 1e6);
+    }
+
+    ~ProfiledLock() { mutex_->unlock(); }
+
+    ProfiledLock(const ProfiledLock&) = delete;
+    ProfiledLock& operator=(const ProfiledLock&) = delete;
+
+private:
+    std::mutex* mutex_;
+};
+
+/// Adapts the thread pool's probe hooks onto wait sites:
+///   <prefix>.enqueue_block   Contention — submit() blocked on a full queue
+///   <prefix>.dequeue_wait    Idle — a worker parked on an empty queue
+///   <prefix>.queue_depth     histogram over depths observed at enqueue
+/// Install with pool.set_probe(&probe); the probe must outlive the pool's
+/// last submit.
+class WaitSiteThreadPoolProbe final : public ThreadPoolProbe {
+public:
+    explicit WaitSiteThreadPoolProbe(
+        const std::string& prefix = "pool",
+        WaitSiteRegistry& sites = global_wait_sites(),
+        MetricsRegistry& metrics = global_metrics());
+
+    void enqueue_blocked_us(double us) override;
+    void dequeue_waited_us(double us) override;
+    void queue_depth_sampled(std::size_t depth) override;
+
+private:
+    WaitSite& enqueue_block_;
+    WaitSite& dequeue_wait_;
+    Histogram& queue_depth_;
+};
+
+/// Per-event pipeline stage durations (microseconds), stamped along the
+/// serve hot path. Stages are disjoint steady-clock intervals inside the
+/// event's end-to-end window, so stage_sum_us() <= total_us always holds
+/// (the remainder is handoff time visible at the wait sites).
+struct StageStamps {
+    double recv_us = 0.0;   ///< reader blocked in read_some before the frame
+    double parse_us = 0.0;  ///< frame payload -> Request
+    double queue_us = 0.0;  ///< inbox enqueue -> strand pickup
+    double score_us = 0.0;  ///< request dispatch (scoring, for PUSH)
+    double reply_us = 0.0;  ///< response serialize + write
+    double total_us = 0.0;  ///< recv start -> reply written
+
+    [[nodiscard]] double stage_sum_us() const noexcept {
+        return recv_us + parse_us + queue_us + score_us + reply_us;
+    }
+};
+
+}  // namespace adiv

@@ -19,16 +19,23 @@ TelemetrySampler::~TelemetrySampler() { stop(); }
 
 void TelemetrySampler::start() {
     const std::lock_guard<std::mutex> lock(wake_mutex_);
-    if (thread_.joinable() || stopped_) return;
+    // stopping_ covers the window where stop() has joined the thread but
+    // not yet flipped stopped_: restarting there would leak an unjoined
+    // thread behind the in-flight shutdown.
+    if (thread_.joinable() || stopping_ || stopped_) return;
     thread_ = std::thread([this] { run(); });
 }
 
 void TelemetrySampler::stop() {
+    // Serialize the whole shutdown (see stop_mutex_ in the header): the
+    // final sample must be taken *after* the caller's quiesce point — e.g.
+    // after Server::shutdown() drained its sessions — and a second stop()
+    // caller must not return before that sample exists.
+    const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
     {
         const std::lock_guard<std::mutex> lock(wake_mutex_);
         if (stopped_) return;
         stopping_ = true;
-        stopped_ = true;
     }
     wake_.notify_all();
     if (thread_.joinable()) thread_.join();
@@ -36,6 +43,8 @@ void TelemetrySampler::stop() {
     // reaches the series, even if the sampler never got a full interval.
     sample_once();
     sink_->flush();
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopped_ = true;
 }
 
 void TelemetrySampler::run() {

@@ -83,6 +83,13 @@ private:
     std::map<std::string, std::uint64_t> histogram_baseline_;
     std::uint64_t seq_ = 0;
 
+    // stop() ordering: stop_mutex_ is held across the whole shutdown —
+    // signal, join, final sample, flush — and stopped_ flips only at the
+    // end. A concurrent stop() (e.g. the destructor racing an explicit
+    // stop() from a draining server) therefore blocks until the final
+    // sample is *written*, not merely scheduled; no caller can return from
+    // stop() and then mutate the registry ahead of the shutdown snapshot.
+    std::mutex stop_mutex_;
     std::mutex wake_mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;

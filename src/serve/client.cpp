@@ -73,6 +73,15 @@ SessionCounts Client::drain() {
     return response.counts;
 }
 
+std::string Client::dump() {
+    Request request;
+    request.type = RequestType::Dump;
+    Response response = checked(request);
+    require_data(response.type == ResponseType::Dumped,
+                 "unexpected response to DUMP");
+    return std::move(response.exposition);
+}
+
 SessionCounts Client::close_session() {
     Request request;
     request.type = RequestType::Close;

@@ -48,6 +48,9 @@ public:
     /// with or without an open session.
     std::string metrics();
     SessionCounts drain();
+    /// The session's flight-recorder ring as rendered text (DUMP verb);
+    /// requires an open session.
+    std::string dump();
     SessionCounts close_session();
 
     /// Closes the underlying transport (an abrupt end from the server's

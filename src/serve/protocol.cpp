@@ -50,10 +50,12 @@ constexpr std::string_view kPush = "PUSH";
 constexpr std::string_view kStats = "STATS";
 constexpr std::string_view kMetrics = "METRICS";
 constexpr std::string_view kDrain = "DRAIN";
+constexpr std::string_view kDump = "DUMP";
 constexpr std::string_view kClose = "CLOSE";
 constexpr std::string_view kOpened = "OPENED";
 constexpr std::string_view kScores = "SCORES";
 constexpr std::string_view kDrained = "DRAINED";
+constexpr std::string_view kDumped = "DUMPED";
 constexpr std::string_view kClosed = "CLOSED";
 constexpr std::string_view kErr = "ERR";
 
@@ -92,6 +94,8 @@ std::string serialize(const Request& request) {
             return std::string(kMetrics);
         case RequestType::Drain:
             return std::string(kDrain);
+        case RequestType::Dump:
+            return std::string(kDump);
         case RequestType::Close:
             return std::string(kClose);
     }
@@ -119,11 +123,13 @@ std::string serialize(const Response& response) {
                    std::to_string(response.counts.alarms) + " " +
                    std::to_string(response.active_sessions);
         case ResponseType::Metrics:
-            // The byte count delimits the raw exposition: it starts after
-            // the single space following the count and runs exactly that
-            // many bytes (newlines included — the frame length covers them).
-            return std::string(kMetrics) + " " +
-                   std::to_string(response.exposition.size()) + " " +
+        case ResponseType::Dumped:
+            // The byte count delimits the raw body: it starts after the
+            // single space following the count and runs exactly that many
+            // bytes (newlines included — the frame length covers them).
+            return std::string(response.type == ResponseType::Metrics ? kMetrics
+                                                                      : kDumped) +
+                   " " + std::to_string(response.exposition.size()) + " " +
                    response.exposition;
         case ResponseType::Drained:
         case ResponseType::Closed:
@@ -168,6 +174,9 @@ Request parse_request(std::string_view payload) {
     } else if (verb == kDrain) {
         request.type = RequestType::Drain;
         require_done(in, kDrain);
+    } else if (verb == kDump) {
+        request.type = RequestType::Dump;
+        require_done(in, kDump);
     } else if (verb == kClose) {
         request.type = RequestType::Close;
         require_done(in, kClose);
@@ -202,26 +211,28 @@ Response parse_response(std::string_view payload) {
         response.counts.alarms = read_u64(in, "alarms");
         response.active_sessions = read_size(in, "active sessions");
         require_done(in, kStats);
-    } else if (verb == kMetrics) {
-        response.type = ResponseType::Metrics;
+    } else if (verb == kMetrics || verb == kDumped) {
+        response.type =
+            verb == kMetrics ? ResponseType::Metrics : ResponseType::Dumped;
         // Raw-byte field: parsed off the payload directly, because the
-        // exposition embeds spaces and newlines that token extraction
-        // would destroy.
+        // body embeds spaces and newlines that token extraction would
+        // destroy.
+        const std::string name(verb);
         const std::size_t verb_end = payload.find(' ');
         require_data(verb_end != std::string_view::npos,
-                     "METRICS is missing its byte count");
+                     name + " is missing its byte count");
         const std::size_t size_end = payload.find(' ', verb_end + 1);
         require_data(size_end != std::string_view::npos,
-                     "METRICS is missing its body");
+                     name + " is missing its body");
         std::size_t nbytes = 0;
         const char* first = payload.data() + verb_end + 1;
         const char* last = payload.data() + size_end;
         const auto [end, ec] = std::from_chars(first, last, nbytes);
         require_data(ec == std::errc() && end == last,
-                     "METRICS byte count is not a number");
+                     name + " byte count is not a number");
         const std::string_view body = payload.substr(size_end + 1);
         require_data(body.size() == nbytes,
-                     "METRICS byte count disagrees with its body");
+                     name + " byte count disagrees with its body");
         response.exposition = std::string(body);
     } else if (verb == kDrained || verb == kClosed) {
         response.type =

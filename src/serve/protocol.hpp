@@ -18,6 +18,9 @@
 //                          never open a session)
 //   DRAIN                  barrier: everything pushed before this point has
 //                          been scored and its responses delivered
+//   DUMP                   the session's flight-recorder ring (last K
+//                          events with stage stamps) as rendered text;
+//                          requires an open session
 //   CLOSE                  end the session, report its final counters
 //
 // Response records (server -> client):
@@ -32,6 +35,8 @@
 //                                   (the exposition embeds newlines, which
 //                                   the frame length already accounts for)
 //   DRAINED <events> <windows> <alarms>
+//   DUMPED <nbytes> <text>          raw flight-recorder rendering; the same
+//                                   raw-byte-field shape as METRICS
 //   CLOSED <events> <windows> <alarms>
 //   ERR <message...>                message runs to the end of the payload
 //
@@ -74,7 +79,7 @@ private:
     std::string buffer_;
 };
 
-enum class RequestType { Open, Push, Stats, Metrics, Drain, Close };
+enum class RequestType { Open, Push, Stats, Metrics, Drain, Dump, Close };
 
 struct Request {
     RequestType type = RequestType::Stats;
@@ -89,7 +94,9 @@ struct SessionCounts {
     std::uint64_t alarms = 0;   // responses at/above kMaximalResponse
 };
 
-enum class ResponseType { Opened, Scores, Stats, Metrics, Drained, Closed, Error };
+enum class ResponseType {
+    Opened, Scores, Stats, Metrics, Drained, Dumped, Closed, Error
+};
 
 struct Response {
     ResponseType type = ResponseType::Error;
@@ -103,7 +110,7 @@ struct Response {
     // Stats / Drained / Closed
     SessionCounts counts;
     std::size_t active_sessions = 0;  // Stats only
-    // Metrics: raw OpenMetrics exposition text
+    // Metrics / Dumped: raw body text (OpenMetrics exposition, flight dump)
     std::string exposition;
     // Error
     std::string message;

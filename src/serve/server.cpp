@@ -2,7 +2,10 @@
 
 #include <utility>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace adiv::serve {
 
@@ -10,12 +13,25 @@ Server::Server(ServerConfig config, MetricsRegistry& metrics)
     : config_(config),
       metrics_(&metrics),
       catalog_(config.allow_model_paths),
-      sessions_(catalog_, SessionConfig{config.scorer_buffer}, metrics),
+      sessions_(catalog_,
+                SessionConfig{config.scorer_buffer, config.flight_capacity},
+                metrics),
       connections_accepted_(metrics.counter("serve.connections_accepted")),
       frames_rejected_(metrics.counter("serve.frames_rejected")),
       responses_sent_(metrics.counter("serve.responses_sent")),
       queue_depth_(metrics.gauge("serve.queue_depth")),
-      pool_(config.jobs, config.queue_capacity) {}
+      stage_recv_us_(metrics.histogram("serve.stage.recv_us")),
+      stage_parse_us_(metrics.histogram("serve.stage.parse_us")),
+      stage_queue_us_(metrics.histogram("serve.stage.queue_us")),
+      stage_score_us_(metrics.histogram("serve.stage.score_us")),
+      stage_reply_us_(metrics.histogram("serve.stage.reply_us")),
+      stage_total_us_(metrics.histogram("serve.stage.total_us")),
+      inbox_block_site_(wait_site("serve.inbox_block")),
+      strand_handoff_site_(wait_site("serve.strand_handoff")),
+      pool_probe_("serve.pool", global_wait_sites(), global_metrics()),
+      pool_(config.jobs, config.queue_capacity) {
+    pool_.set_probe(&pool_probe_);
+}
 
 Server::~Server() { shutdown(); }
 
@@ -87,18 +103,39 @@ void Server::reader_loop(Connection& connection) {
     FrameDecoder decoder;
     try {
         char buffer[4096];
+        // recv accounting: time spent blocked in read_some accumulates and
+        // is attributed to the *next* frame completed — "how long did the
+        // bytes of this request take to arrive since the previous one".
+        double read_blocked_us = 0.0;
         for (;;) {
-            const std::size_t n =
-                connection.transport->read_some(buffer, sizeof buffer);
+            std::size_t n = 0;
+            if (profiling_enabled()) {
+                const Stopwatch watch;
+                n = connection.transport->read_some(buffer, sizeof buffer);
+                read_blocked_us += watch.seconds() * 1e6;
+            } else {
+                n = connection.transport->read_some(buffer, sizeof buffer);
+            }
             if (n == 0) break;
             decoder.feed({buffer, n});
             // decoder.next() throws on framing errors (fatal, handled
             // below); parse_request throws on record errors (survivable).
             while (auto payload = decoder.next()) {
                 InboxItem item;
+                const bool stamp = profiling_enabled();
+                if (stamp) {
+                    item.frame_t = trace_clock_seconds();
+                    item.recv_us = std::exchange(read_blocked_us, 0.0);
+                }
                 try {
                     item.kind = InboxItem::Kind::Request;
-                    item.request = parse_request(*payload);
+                    if (stamp) {
+                        const Stopwatch watch;
+                        item.request = parse_request(*payload);
+                        item.parse_us = watch.seconds() * 1e6;
+                    } else {
+                        item.request = parse_request(*payload);
+                    }
                 } catch (const std::exception& record_error) {
                     frames_rejected_.add(1);
                     item.kind = InboxItem::Kind::RecordError;
@@ -128,17 +165,30 @@ void Server::reader_loop(Connection& connection) {
 
 void Server::enqueue(Connection& connection, InboxItem item) {
     bool schedule = false;
+    const bool stamp = item.frame_t > 0.0 && profiling_enabled();
     {
         std::unique_lock<std::mutex> lock(connection.mutex);
         // Backpressure: requests wait for inbox space; error/EOF items always
         // enter, so a connection can always reach its end state.
-        if (item.kind == InboxItem::Kind::Request && config_.queue_capacity != 0)
-            connection.inbox_space.wait(lock, [&] {
+        if (item.kind == InboxItem::Kind::Request &&
+            config_.queue_capacity != 0) {
+            const auto space = [&] {
                 return connection.inbox.size() < config_.queue_capacity;
-            });
+            };
+            if (stamp && !space()) {
+                const Stopwatch watch;
+                connection.inbox_space.wait(lock, space);
+                inbox_block_site_.record_wait_us(watch.seconds() * 1e6);
+            } else {
+                connection.inbox_space.wait(lock, space);
+                if (stamp) inbox_block_site_.record_acquire();
+            }
+        }
+        if (stamp) item.enqueued_t = trace_clock_seconds();
         connection.inbox.push_back(std::move(item));
         if (!connection.strand_scheduled) {
             connection.strand_scheduled = true;
+            if (stamp) connection.strand_submit_t = trace_clock_seconds();
             schedule = true;
         }
     }
@@ -151,10 +201,21 @@ void Server::enqueue(Connection& connection, InboxItem item) {
 }
 
 void Server::run_strand(Connection& connection) {
+    bool first = true;
     for (;;) {
         InboxItem item;
         {
             const std::lock_guard<std::mutex> lock(connection.mutex);
+            if (first) {
+                // Attribute the submit -> execution handoff once per strand
+                // wakeup; only stamped (profiled) enqueues set the mark.
+                first = false;
+                const double submit_t =
+                    std::exchange(connection.strand_submit_t, 0.0);
+                if (submit_t > 0.0 && profiling_enabled())
+                    strand_handoff_site_.record_wait_us(
+                        (trace_clock_seconds() - submit_t) * 1e6);
+            }
             if (connection.inbox.empty()) {
                 connection.strand_scheduled = false;
                 return;
@@ -165,8 +226,33 @@ void Server::run_strand(Connection& connection) {
         connection.inbox_space.notify_one();
         switch (item.kind) {
             case InboxItem::Kind::Request:
-                if (!connection.finished)
-                    send_response(connection, dispatch(connection, item.request));
+                if (!connection.finished) {
+                    const bool stamp = item.frame_t > 0.0 && profiling_enabled();
+                    if (!stamp) {
+                        send_response(connection,
+                                      dispatch(connection, item.request));
+                        break;
+                    }
+                    StageStamps stamps;
+                    stamps.recv_us = item.recv_us;
+                    stamps.parse_us = item.parse_us;
+                    stamps.queue_us =
+                        (trace_clock_seconds() - item.enqueued_t) * 1e6;
+                    const Stopwatch score_watch;
+                    const Response response = dispatch(connection, item.request);
+                    stamps.score_us = score_watch.seconds() * 1e6;
+                    const Stopwatch reply_watch;
+                    send_response(connection, response);
+                    stamps.reply_us = reply_watch.seconds() * 1e6;
+                    // total = frame completion -> reply written, plus the
+                    // recv time that preceded the frame. Every stage is a
+                    // disjoint sub-interval, so stage_sum_us() <= total_us;
+                    // the remainder is handoff time, visible at wait sites.
+                    stamps.total_us =
+                        (trace_clock_seconds() - item.frame_t) * 1e6 +
+                        stamps.recv_us;
+                    record_stages(connection, item.request, response, stamps);
+                }
                 break;
             case InboxItem::Kind::RecordError:
                 if (!connection.finished)
@@ -225,6 +311,73 @@ void Server::finish_connection(Connection& connection) {
 void Server::send_response(Connection& connection, const Response& response) {
     write_frame(*connection.transport, serialize(response));
     responses_sent_.add(1);
+}
+
+namespace {
+std::string_view verb_of(RequestType type) noexcept {
+    switch (type) {
+        case RequestType::Open: return "OPEN";
+        case RequestType::Push: return "PUSH";
+        case RequestType::Stats: return "STATS";
+        case RequestType::Metrics: return "METRICS";
+        case RequestType::Drain: return "DRAIN";
+        case RequestType::Dump: return "DUMP";
+        case RequestType::Close: return "CLOSE";
+    }
+    return "?";
+}
+}  // namespace
+
+void Server::record_stages(const Connection& connection, const Request& request,
+                           const Response& response,
+                           const StageStamps& stamps) {
+    stage_recv_us_.record(stamps.recv_us);
+    stage_parse_us_.record(stamps.parse_us);
+    stage_queue_us_.record(stamps.queue_us);
+    stage_score_us_.record(stamps.score_us);
+    stage_reply_us_.record(stamps.reply_us);
+    stage_total_us_.record(stamps.total_us);
+    const bool ok = response.type != ResponseType::Error;
+    if (connection.has_session) {
+        FlightRecord record;
+        record.set_verb(verb_of(request.type));
+        record.set_outcome(ok ? "ok" : "err");
+        record.events = static_cast<std::uint32_t>(request.events.size());
+        record.scores = static_cast<std::uint32_t>(response.scores.size());
+        record.recv_us = static_cast<float>(stamps.recv_us);
+        record.parse_us = static_cast<float>(stamps.parse_us);
+        record.queue_us = static_cast<float>(stamps.queue_us);
+        record.score_us = static_cast<float>(stamps.score_us);
+        record.reply_us = static_cast<float>(stamps.reply_us);
+        record.total_us = static_cast<float>(stamps.total_us);
+        sessions_.record_flight(connection.session_id, record);
+    }
+    if (request.type != RequestType::Push) return;
+    // The sampled per-event stream: deterministic 1-in-N by PUSH arrival
+    // order, so two runs of the same load sample the same fraction.
+    const std::uint64_t seq = push_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.profile_sample_every == 0 ||
+        seq % config_.profile_sample_every != 0)
+        return;
+    const std::shared_ptr<TraceSink> sink = global_trace_sink();
+    if (!sink || !sink->enabled()) return;
+    JsonWriter w;
+    w.begin_object();
+    w.key("type").value("event_stage");
+    w.key("seq").value(seq);
+    w.key("verb").value(verb_of(request.type));
+    w.key("session").value(connection.session_id);
+    w.key("events").value(static_cast<std::uint64_t>(request.events.size()));
+    w.key("scores").value(static_cast<std::uint64_t>(response.scores.size()));
+    w.key("outcome").value(ok ? "ok" : "err");
+    w.key("recv_us").value(stamps.recv_us);
+    w.key("parse_us").value(stamps.parse_us);
+    w.key("queue_us").value(stamps.queue_us);
+    w.key("score_us").value(stamps.score_us);
+    w.key("reply_us").value(stamps.reply_us);
+    w.key("total_us").value(stamps.total_us);
+    w.end_object();
+    sink->write_line(w.str());
 }
 
 }  // namespace adiv::serve

@@ -26,8 +26,20 @@
 //   serve.frames_rejected       counter, malformed frames / requests
 //   serve.responses_sent        counter
 //   serve.queue_depth           gauge, pool queue depth sampled per dispatch
+//
+// Profiling (active only while profiling_enabled(); see obs/profile.hpp):
+// each handled request is stamped with recv/parse/queue/score/reply stage
+// durations, recorded into serve.stage.* histograms, appended to the
+// session's flight ring, and — for every profile_sample_every'th PUSH,
+// deterministically by sequence number — written to the global trace sink
+// as a {"type":"event_stage",...} JSON line. Wait sites:
+//   serve.session_table      the SessionManager table lock
+//   serve.inbox_block        reader blocked on a full connection inbox
+//   serve.strand_handoff     strand submit -> first task execution
+//   serve.pool.enqueue_block / serve.pool.dequeue_wait / serve.pool.queue_depth
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
@@ -39,6 +51,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
 #include "serve/transport.hpp"
@@ -55,6 +68,11 @@ struct ServerConfig {
     std::size_t scorer_buffer = 0;
     /// Permit OPEN targets that are model-file paths (loaded and cached).
     bool allow_model_paths = false;
+    /// Flight-recorder slots per session (the DUMP verb's window).
+    std::size_t flight_capacity = 64;
+    /// Emit an event_stage trace line for every Nth PUSH (per server, by
+    /// arrival order) while profiling is on; 0 disables the sampled stream.
+    std::uint64_t profile_sample_every = 64;
 };
 
 class Server {
@@ -100,6 +118,12 @@ public:
         return connections_accepted_.value();
     }
 
+    /// Every live session's flight ring rendered as text (see
+    /// SessionManager::dump_all) — the --dump-on-signal payload.
+    [[nodiscard]] std::string dump_flight_records() const {
+        return sessions_.dump_all();
+    }
+
 private:
     struct InboxItem {
         // RecordError: a well-framed but unparseable record — answered with
@@ -109,6 +133,13 @@ private:
         Kind kind = Kind::EndOfStream;
         Request request;
         std::string error;
+        // Stage stamps, populated by the reader only while profiling is on.
+        // frame_t > 0 marks a stamped item (trace_clock_seconds() is measured
+        // from the first call in the process, so 0 cannot collide).
+        double recv_us = 0.0;     // reader blocked in read_some before this frame
+        double parse_us = 0.0;    // payload -> Request
+        double frame_t = 0.0;     // clock at frame completion (total_us base)
+        double enqueued_t = 0.0;  // clock at inbox append (queue_us base)
     };
 
     struct Connection {
@@ -121,6 +152,9 @@ private:
         bool finished = false;           // strand saw EndOfStream
         std::uint64_t session_id = 0;
         bool has_session = false;
+        // Clock at the last strand submit; consumed (reset to 0) by the
+        // strand to attribute the handoff latency. Guarded by `mutex`.
+        double strand_submit_t = 0.0;
     };
 
     void reader_loop(Connection& connection);
@@ -129,6 +163,8 @@ private:
     Response dispatch(Connection& connection, const Request& request);
     void finish_connection(Connection& connection);
     void send_response(Connection& connection, const Response& response);
+    void record_stages(const Connection& connection, const Request& request,
+                       const Response& response, const StageStamps& stamps);
 
     ServerConfig config_;
     MetricsRegistry* metrics_;
@@ -138,6 +174,18 @@ private:
     Counter& frames_rejected_;
     Counter& responses_sent_;
     Gauge& queue_depth_;
+    // Stage histograms (profiling only; registered eagerly so an OpenMetrics
+    // scrape shows them, zeroed, even before the first profiled event).
+    Histogram& stage_recv_us_;
+    Histogram& stage_parse_us_;
+    Histogram& stage_queue_us_;
+    Histogram& stage_score_us_;
+    Histogram& stage_reply_us_;
+    Histogram& stage_total_us_;
+    WaitSite& inbox_block_site_;
+    WaitSite& strand_handoff_site_;
+    WaitSiteThreadPoolProbe pool_probe_;
+    std::atomic<std::uint64_t> push_seq_{0};
 
     mutable std::mutex mutex_;
     std::condition_variable connections_changed_;

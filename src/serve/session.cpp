@@ -74,6 +74,10 @@ SessionManager::SessionManager(ModelCatalog& catalog, SessionConfig config,
     : catalog_(&catalog),
       config_(config),
       metrics_(&metrics),
+      // Wait sites live in the global registry regardless of `metrics`:
+      // sites are process-wide diagnostics, and tests assert per-manager
+      // behaviour through the session metrics, not the site counters.
+      mutex_(wait_site("serve.session_table")),
       sessions_opened_(metrics.counter("serve.sessions_opened")),
       sessions_closed_(metrics.counter("serve.sessions_closed")),
       sessions_active_(metrics.gauge("serve.sessions_active")),
@@ -83,15 +87,16 @@ SessionManager::SessionManager(ModelCatalog& catalog, SessionConfig config,
 
 Response SessionManager::open(const std::string& target) {
     std::shared_ptr<const SequenceDetector> model = catalog_->resolve(target);
-    auto session =
-        std::make_shared<Session>(std::move(model), config_.scorer_buffer, *metrics_);
+    auto session = std::make_shared<Session>(
+        std::move(model), config_.scorer_buffer, config_.flight_capacity,
+        *metrics_);
     Response response;
     response.type = ResponseType::Opened;
     response.detector = session->model->name();
     response.window = session->model->window_length();
     response.alphabet = session->model->alphabet_size();
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::lock_guard<ProfiledMutex> lock(mutex_);
         response.session_id = next_id_++;
         sessions_.emplace(response.session_id, std::move(session));
         sessions_active_.set(static_cast<double>(sessions_.size()));
@@ -149,12 +154,18 @@ Response SessionManager::handle(std::uint64_t session_id, const Request& request
             response.counts = counts_of(*session);
             return response;
         }
+        case RequestType::Dump: {
+            Response response;
+            response.type = ResponseType::Dumped;
+            response.exposition = render_flight_records(session->flight.snapshot());
+            return response;
+        }
         case RequestType::Close: {
             Response response;
             response.type = ResponseType::Closed;
             response.counts = counts_of(*session);
             {
-                const std::lock_guard<std::mutex> lock(mutex_);
+                const std::lock_guard<ProfiledMutex> lock(mutex_);
                 close_locked_erase(session_id);
             }
             return response;
@@ -164,18 +175,39 @@ Response SessionManager::handle(std::uint64_t session_id, const Request& request
 }
 
 void SessionManager::disconnect(std::uint64_t session_id) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<ProfiledMutex> lock(mutex_);
     close_locked_erase(session_id);
 }
 
 std::size_t SessionManager::active_sessions() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<ProfiledMutex> lock(mutex_);
     return sessions_.size();
+}
+
+void SessionManager::record_flight(std::uint64_t session_id,
+                                   const FlightRecord& record) {
+    if (const std::shared_ptr<Session> session = find(session_id))
+        session->flight.record(record);
+}
+
+std::string SessionManager::dump_all() const {
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<Session>>> live;
+    {
+        const std::lock_guard<ProfiledMutex> lock(mutex_);
+        live.assign(sessions_.begin(), sessions_.end());
+    }
+    std::string out = "flight recorder dump: " + std::to_string(live.size()) +
+                      " session(s)\n";
+    for (const auto& [id, session] : live) {
+        out += "session " + std::to_string(id) + "\n";
+        out += render_flight_records(session->flight.snapshot());
+    }
+    return out;
 }
 
 std::shared_ptr<SessionManager::Session> SessionManager::find(
     std::uint64_t session_id) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<ProfiledMutex> lock(mutex_);
     const auto it = sessions_.find(session_id);
     return it == sessions_.end() ? nullptr : it->second;
 }

@@ -29,7 +29,9 @@
 
 #include "core/online.hpp"
 #include "detect/detector.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "serve/protocol.hpp"
 
 namespace adiv::serve {
@@ -66,6 +68,8 @@ private:
 struct SessionConfig {
     /// OnlineScorer buffer capacity; 0 = the scorer default (4 * DW).
     std::size_t scorer_buffer = 0;
+    /// Flight-recorder slots per session (the DUMP verb's window).
+    std::size_t flight_capacity = 64;
 };
 
 /// The METRICS verb's response: the registry rendered as an OpenMetrics
@@ -83,7 +87,7 @@ public:
     /// for unknown targets.
     [[nodiscard]] Response open(const std::string& target);
 
-    /// Handles a PUSH / STATS / DRAIN / CLOSE for an existing session.
+    /// Handles a PUSH / STATS / DRAIN / DUMP / CLOSE for an existing session.
     /// Returns an ERR response (never throws) for protocol-level problems:
     /// unknown session, out-of-alphabet events. A rejected PUSH leaves the
     /// session state untouched (events are validated before any is scored).
@@ -94,15 +98,28 @@ public:
 
     [[nodiscard]] std::size_t active_sessions() const;
 
+    /// Appends one record to the session's flight ring; a no-op for unknown
+    /// (already-closed) sessions. Called by the server after each reply.
+    void record_flight(std::uint64_t session_id, const FlightRecord& record);
+
+    /// Every live session's flight ring rendered as text, one
+    /// "session <id>" header per session in id order — the
+    /// --dump-on-signal output.
+    [[nodiscard]] std::string dump_all() const;
+
 private:
     struct Session {
         std::shared_ptr<const SequenceDetector> model;
         OnlineScorer scorer;
+        FlightRecorder flight;
         std::uint64_t alarms_reported = 0;
 
         Session(std::shared_ptr<const SequenceDetector> detector,
-                std::size_t buffer, MetricsRegistry& metrics)
-            : model(std::move(detector)), scorer(*model, buffer, metrics) {}
+                std::size_t buffer, std::size_t flight_capacity,
+                MetricsRegistry& metrics)
+            : model(std::move(detector)),
+              scorer(*model, buffer, metrics),
+              flight(flight_capacity) {}
     };
 
     [[nodiscard]] std::shared_ptr<Session> find(std::uint64_t session_id) const;
@@ -112,7 +129,9 @@ private:
     ModelCatalog* catalog_;
     SessionConfig config_;
     MetricsRegistry* metrics_;
-    mutable std::mutex mutex_;
+    // The session-table lock — the suspected serialization point ROADMAP
+    // item 1 wants evidence on, so it is a wait site ("serve.session_table").
+    mutable ProfiledMutex mutex_;
     std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
     std::uint64_t next_id_ = 1;
     Counter& sessions_opened_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace adiv {
 
@@ -37,16 +38,35 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
     require(task != nullptr, "cannot submit an empty task");
+    ThreadPoolProbe* const probe = probe_.load(std::memory_order_acquire);
+    double blocked_us = -1.0;
+    std::size_t depth = 0;
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        if (capacity_ != 0 && !on_worker_thread())
-            space_available_.wait(lock, [this] {
+        if (capacity_ != 0 && !on_worker_thread()) {
+            const auto space = [this] {
                 return stopping_ || queue_.size() < capacity_;
-            });
+            };
+            // Time the wait only when it would actually block — the probe's
+            // contract is "passes that blocked", and the common uncontended
+            // submit must not pay for a clock read.
+            if (probe != nullptr && !space()) {
+                const Stopwatch watch;
+                space_available_.wait(lock, space);
+                blocked_us = watch.seconds() * 1e6;
+            } else {
+                space_available_.wait(lock, space);
+            }
+        }
         require(!stopping_, "cannot submit to a stopping thread pool");
         queue_.push_back(std::move(task));
+        depth = queue_.size();
     }
     work_available_.notify_one();
+    if (probe != nullptr) {
+        if (blocked_us >= 0.0) probe->enqueue_blocked_us(blocked_us);
+        probe->queue_depth_sampled(depth);
+    }
 }
 
 std::size_t ThreadPool::queue_depth() const {
@@ -70,20 +90,30 @@ void ThreadPool::worker_loop() {
     tl_current_pool = this;
     for (;;) {
         std::function<void()> task;
+        ThreadPoolProbe* const probe = probe_.load(std::memory_order_acquire);
+        double waited_us = -1.0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            work_available_.wait(lock,
-                                 [this] { return stopping_ || !queue_.empty(); });
+            const auto work = [this] { return stopping_ || !queue_.empty(); };
+            if (probe != nullptr && !work()) {
+                const Stopwatch watch;
+                work_available_.wait(lock, work);
+                waited_us = watch.seconds() * 1e6;
+            } else {
+                work_available_.wait(lock, work);
+            }
             // Drain the queue before honouring shutdown: every submitted
             // task runs, so ~ThreadPool is a barrier, not a cancellation.
             if (queue_.empty()) {
                 tl_current_pool = nullptr;
-                return;
+                return;  // shutdown wake — not a dequeue wait, don't record
             }
             task = std::move(queue_.front());
             queue_.pop_front();
         }
         if (capacity_ != 0) space_available_.notify_one();
+        if (probe != nullptr && waited_us >= 0.0)
+            probe->dequeue_waited_us(waited_us);
         task();
     }
 }

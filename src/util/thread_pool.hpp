@@ -15,6 +15,7 @@
 // the lowest-indexed failed task, so jobs=1 and jobs=N report the same error.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -26,6 +27,26 @@
 #include <vector>
 
 namespace adiv {
+
+/// Observation hooks for the pool's blocking points. The pool itself stays
+/// observability-free (util cannot depend on obs); the serve layer installs
+/// an adapter (obs/profile.hpp: WaitSiteThreadPoolProbe) that forwards these
+/// callbacks to wait sites. Implementations must be thread-safe and cheap —
+/// they run on readers and workers — and must outlive the pool's last
+/// submit. The timing callbacks fire only for passes that actually blocked.
+class ThreadPoolProbe {
+public:
+    virtual ~ThreadPoolProbe() = default;
+
+    /// submit() blocked `us` microseconds waiting for queue space.
+    virtual void enqueue_blocked_us(double us) = 0;
+
+    /// A worker waited `us` microseconds for the queue to become non-empty.
+    virtual void dequeue_waited_us(double us) = 0;
+
+    /// Queue depth observed right after a task was enqueued.
+    virtual void queue_depth_sampled(std::size_t depth) = 0;
+};
 
 class ThreadPool {
 public:
@@ -63,6 +84,14 @@ public:
     /// resolves to).
     static std::size_t default_jobs() noexcept;
 
+    /// Installs (or clears, with nullptr) the blocking-point probe. The
+    /// pointer is atomic, so installation may race running workers (they
+    /// start at construction); install before concurrent submits begin so
+    /// every *submit-side* pass is observed.
+    void set_probe(ThreadPoolProbe* probe) noexcept {
+        probe_.store(probe, std::memory_order_release);
+    }
+
 private:
     void worker_loop();
     [[nodiscard]] bool on_worker_thread() const noexcept;
@@ -74,6 +103,7 @@ private:
     std::vector<std::thread> workers_;
     std::size_t capacity_ = 0;
     bool stopping_ = false;
+    std::atomic<ThreadPoolProbe*> probe_{nullptr};
 };
 
 /// A joinable set of pool tasks. Tasks may themselves call run() to add

@@ -1,0 +1,310 @@
+// Wait-site accounting: registry instrument naming, kind semantics,
+// dominant-site selection, JSONL rendering, the profiled lock types, and
+// the thread-pool probe — including the off-switch (everything inert) and a
+// concurrent-writer stress that TSan supervises in the sanitizer pass.
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adiv {
+namespace {
+
+// Flips the global runtime switch on for one test and always restores OFF —
+// the process-wide default other suites rely on.
+class ProfilingGuard {
+public:
+    ProfilingGuard() { set_profiling_enabled(true); }
+    ~ProfilingGuard() { set_profiling_enabled(false); }
+};
+
+TEST(WaitSite, RegistersDottedInstrumentsInTheGivenRegistry) {
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSite& site = sites.site("test.lock");
+    site.record_acquire();
+    site.record_wait_us(250.0);
+    EXPECT_EQ(reg.counter("test.lock.acquires").value(), 2u);
+    EXPECT_EQ(reg.counter("test.lock.contended").value(), 1u);
+    EXPECT_EQ(reg.histogram("test.lock.wait_us").summary().count, 1u);
+    EXPECT_DOUBLE_EQ(reg.histogram("test.lock.wait_us").summary().sum, 250.0);
+}
+
+TEST(WaitSite, LookupIsIdempotentAndFirstKindWins) {
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSite& idle = sites.site("test.park", WaitSiteKind::Idle);
+    WaitSite& again = sites.site("test.park", WaitSiteKind::Contention);
+    EXPECT_EQ(&idle, &again);
+    EXPECT_EQ(again.kind(), WaitSiteKind::Idle);
+    EXPECT_THROW(sites.site(""), InvalidArgument);
+}
+
+TEST(WaitSite, SummariesAreNameSortedDigests) {
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    sites.site("test.b_lock").record_wait_us(100.0);
+    sites.site("test.a_lock").record_acquire();
+    const std::vector<WaitSiteSummary> summaries = sites.summaries();
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].name, "test.a_lock");
+    EXPECT_EQ(summaries[0].acquires, 1u);
+    EXPECT_EQ(summaries[0].contended, 0u);
+    EXPECT_EQ(summaries[1].name, "test.b_lock");
+    EXPECT_EQ(summaries[1].contended, 1u);
+    EXPECT_DOUBLE_EQ(summaries[1].wait_us_total, 100.0);
+    EXPECT_DOUBLE_EQ(summaries[1].wait_us_mean, 100.0);
+}
+
+TEST(WaitSite, DominantSiteIsLargestContendedContentionSite) {
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    // The idle site waits longest but must not win; among the contention
+    // sites the bigger total does.
+    sites.site("test.park", WaitSiteKind::Idle).record_wait_us(9000.0);
+    sites.site("test.lock_a").record_wait_us(100.0);
+    sites.site("test.lock_b").record_wait_us(300.0);
+    sites.site("test.quiet");  // registered, never contended
+    const std::vector<WaitSiteSummary> summaries = sites.summaries();
+    const WaitSiteSummary* dominant = dominant_wait_site(summaries);
+    ASSERT_NE(dominant, nullptr);
+    EXPECT_EQ(dominant->name, "test.lock_b");
+}
+
+TEST(WaitSite, NoContentionMeansNoDominantSite) {
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    sites.site("test.lock").record_acquire();
+    sites.site("test.park", WaitSiteKind::Idle).record_wait_us(50.0);
+    EXPECT_EQ(dominant_wait_site(sites.summaries()), nullptr);
+    EXPECT_EQ(dominant_wait_site({}), nullptr);
+}
+
+TEST(WaitSite, JsonlLineIsByteExact) {
+    WaitSiteSummary summary;
+    summary.name = "serve.session_table";
+    summary.kind = WaitSiteKind::Contention;
+    summary.acquires = 12;
+    summary.contended = 3;
+    summary.wait_us_total = 450.0;
+    summary.wait_us_mean = 150.0;
+    summary.wait_us_p95 = 250.0;
+    summary.wait_us_max = 250.0;
+    EXPECT_EQ(wait_site_jsonl(summary),
+              "{\"type\":\"wait_site\",\"site\":\"serve.session_table\","
+              "\"kind\":\"contention\",\"acquires\":12,\"contended\":3,"
+              "\"wait_us_total\":450,\"wait_us_mean\":150,"
+              "\"wait_us_p95\":250,\"wait_us_max\":250}");
+}
+
+TEST(WaitSite, WriteJsonlEmitsOneLinePerSiteInNameOrder) {
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    sites.site("test.b_lock").record_wait_us(10.0);
+    sites.site("test.a_park", WaitSiteKind::Idle).record_acquire();
+    std::ostringstream out;
+    StreamTraceSink sink(out);
+    sites.write_jsonl(sink);
+    std::istringstream lines(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"site\":\"test.a_park\""), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":\"idle\""), std::string::npos);
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"site\":\"test.b_lock\""), std::string::npos);
+    EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(ProfiledMutexSuite, DisabledProfilingRecordsNothing) {
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    ProfiledMutex mutex(sites.site("test.lock"));
+    {
+        const std::lock_guard<ProfiledMutex> guard(mutex);
+    }
+    EXPECT_EQ(reg.counter("test.lock.acquires").value(), 0u);
+    EXPECT_EQ(reg.counter("test.lock.contended").value(), 0u);
+}
+
+TEST(ProfiledMutexSuite, UncontendedLockCountsAnAcquire) {
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    const ProfilingGuard profiling;
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    ProfiledMutex mutex(sites.site("test.lock"));
+    {
+        const std::lock_guard<ProfiledMutex> guard(mutex);
+    }
+    EXPECT_EQ(reg.counter("test.lock.acquires").value(), 1u);
+    EXPECT_EQ(reg.counter("test.lock.contended").value(), 0u);
+}
+
+TEST(ProfiledMutexSuite, ContendedLockRecordsWaitTime) {
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    const ProfilingGuard profiling;
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSite& site = sites.site("test.lock");
+    ProfiledMutex mutex(site);
+    std::atomic<bool> held{false};
+    std::thread holder([&] {
+        const std::lock_guard<ProfiledMutex> guard(mutex);
+        held.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    });
+    while (!held.load()) std::this_thread::yield();
+    {
+        const std::lock_guard<ProfiledMutex> guard(mutex);
+    }
+    holder.join();
+    EXPECT_EQ(site.acquires(), 2u);
+    EXPECT_EQ(site.contended(), 1u);
+    EXPECT_GT(site.wait_summary().sum, 0.0);
+}
+
+TEST(ProfiledMutexSuite, ProfiledLockAttributesContentionOnBareMutex) {
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    const ProfilingGuard profiling;
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSite& site = sites.site("test.cv_lock");
+    std::mutex mutex;
+    std::atomic<bool> held{false};
+    std::thread holder([&] {
+        const ProfiledLock guard(mutex, site);
+        held.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    });
+    while (!held.load()) std::this_thread::yield();
+    {
+        const ProfiledLock guard(mutex, site);
+    }
+    holder.join();
+    EXPECT_EQ(site.acquires(), 2u);
+    EXPECT_EQ(site.contended(), 1u);
+}
+
+TEST(WaitSiteStress, ConcurrentWritersAndReadersStayConsistent) {
+    // The TSan target: several threads hammer the same registry — lookups,
+    // recordings, and digest reads interleave — and the final counts add up.
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    const ProfilingGuard profiling;
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 500;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&sites, t] {
+            const std::string mine =
+                "test.lane_" + std::to_string(t % 2);  // two shared sites
+            for (int i = 0; i < kRounds; ++i) {
+                WaitSite& site = sites.site(mine);
+                if (i % 3 == 0)
+                    site.record_wait_us(static_cast<double>(i));
+                else
+                    site.record_acquire();
+                if (i % 100 == 0) (void)sites.summaries();
+            }
+        });
+    for (std::thread& thread : threads) thread.join();
+    std::uint64_t acquires = 0;
+    for (const WaitSiteSummary& summary : sites.summaries())
+        acquires += summary.acquires;
+    EXPECT_EQ(acquires, static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+TEST(WaitSiteProbe, MapsPoolHooksOntoSitesAndDepthHistogram) {
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    const ProfilingGuard profiling;
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSiteThreadPoolProbe probe("test_pool", sites, reg);
+    probe.enqueue_blocked_us(120.0);
+    probe.dequeue_waited_us(80.0);
+    probe.queue_depth_sampled(3);
+    EXPECT_EQ(reg.counter("test_pool.enqueue_block.contended").value(), 1u);
+    EXPECT_EQ(reg.counter("test_pool.dequeue_wait.contended").value(), 1u);
+    EXPECT_EQ(reg.histogram("test_pool.queue_depth").summary().count, 1u);
+    const std::vector<WaitSiteSummary> summaries = sites.summaries();
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].name, "test_pool.dequeue_wait");
+    EXPECT_EQ(summaries[0].kind, WaitSiteKind::Idle);
+    EXPECT_EQ(summaries[1].name, "test_pool.enqueue_block");
+    EXPECT_EQ(summaries[1].kind, WaitSiteKind::Contention);
+}
+
+TEST(WaitSiteProbe, InertWhileProfilingDisabled) {
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSiteThreadPoolProbe probe("test_pool", sites, reg);
+    probe.enqueue_blocked_us(120.0);
+    probe.dequeue_waited_us(80.0);
+    probe.queue_depth_sampled(3);
+    EXPECT_EQ(reg.counter("test_pool.enqueue_block.acquires").value(), 0u);
+    EXPECT_EQ(reg.counter("test_pool.dequeue_wait.acquires").value(), 0u);
+    EXPECT_EQ(reg.histogram("test_pool.queue_depth").summary().count, 0u);
+}
+
+TEST(WaitSiteProbe, BoundedPoolUnderLoadFeedsTheProbe) {
+    // End-to-end through the real pool: a tiny queue forces enqueue blocking
+    // and parked workers, so every probe hook fires at least once.
+    if (!profiling_compiled()) GTEST_SKIP() << "ADIV_PROFILE=OFF build";
+    const ProfilingGuard profiling;
+    MetricsRegistry reg;
+    WaitSiteRegistry sites(reg);
+    WaitSiteThreadPoolProbe probe("test_pool", sites, reg);
+    {
+        ThreadPool pool(2, /*queue_capacity=*/2);
+        pool.set_probe(&probe);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            });
+        // A dequeue wait is recorded only when a parked worker *receives a
+        // task* (the final shutdown wake deliberately doesn't count), and
+        // the full queue above never let a worker park mid-run. So: let the
+        // queue drain and the workers park, then hand them one more task.
+        for (int round = 0; round < 400; ++round) {
+            if (reg.counter("test_pool.dequeue_wait.acquires").value() > 0)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            pool.async([] {}).get();
+        }
+    }  // ~ThreadPool drains the queue — a barrier, not a cancellation
+    EXPECT_GT(reg.histogram("test_pool.queue_depth").summary().count, 0u);
+    // 64 one-millisecond tasks through a 2-slot queue: the submitter blocked.
+    EXPECT_GT(reg.counter("test_pool.enqueue_block.acquires").value(), 0u);
+    // And a parked worker picked up the post-drain task.
+    EXPECT_GT(reg.counter("test_pool.dequeue_wait.acquires").value(), 0u);
+}
+
+TEST(StageStampsSuite, StageSumIsTheFiveStages) {
+    StageStamps stamps;
+    stamps.recv_us = 1.0;
+    stamps.parse_us = 2.0;
+    stamps.queue_us = 3.0;
+    stamps.score_us = 4.0;
+    stamps.reply_us = 5.0;
+    stamps.total_us = 20.0;
+    EXPECT_DOUBLE_EQ(stamps.stage_sum_us(), 15.0);
+    EXPECT_LE(stamps.stage_sum_us(), stamps.total_us);
+}
+
+}  // namespace
+}  // namespace adiv

@@ -8,6 +8,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -143,6 +144,61 @@ TEST(TelemetrySampler, StartStopTakesAFinalSampleAndIsIdempotent) {
     EXPECT_EQ(lines.size(), sampler.samples_written());
     for (const std::string& line : lines)
         EXPECT_NE(line.find("\"type\":\"metrics_sample\""), std::string::npos);
+}
+
+TEST(TelemetrySampler, ShutdownSampleSeesMutationsMadeUpToTheStopCall) {
+    // Regression: the final sample must be snapshotted *after* the caller's
+    // quiesce point. A server drains its workers and then calls stop(); every
+    // increment that landed before the call must appear in the last line.
+    MetricsRegistry reg;
+    auto out = std::make_shared<std::ostringstream>();
+    TelemetrySamplerConfig config;
+    config.interval = std::chrono::hours{1};  // the periodic tick never fires
+    config.clock = pinned_clock;
+    TelemetrySampler sampler(reg, std::make_shared<StreamTraceSink>(*out),
+                             config);
+    sampler.start();
+    reg.counter("test.events").add(7);  // the post-drain mutation
+    sampler.stop();
+    const std::vector<std::string> lines = lines_of(out->str());
+    ASSERT_EQ(lines.size(), 1u);  // only the shutdown sample exists
+    EXPECT_NE(lines[0].find("\"test.events\":{\"total\":7,\"delta\":7}"),
+              std::string::npos);
+}
+
+TEST(TelemetrySampler, ConcurrentStopsBothReturnAfterTheFinalSampleIsWritten) {
+    // Regression for the stop()-vs-stop() race: an explicit stop() from a
+    // draining server can run concurrently with the destructor's stop(). The
+    // stop_mutex_ serializes the whole shutdown, so *whichever* caller
+    // returns first must already observe the flushed final sample — neither
+    // may return while the shutdown snapshot is still being written.
+    MetricsRegistry reg;
+    reg.counter("test.events").add(3);
+    auto out = std::make_shared<std::ostringstream>();
+    TelemetrySamplerConfig config;
+    config.interval = std::chrono::hours{1};
+    config.clock = pinned_clock;
+    TelemetrySampler sampler(reg, std::make_shared<StreamTraceSink>(*out),
+                             config);
+    sampler.start();
+    std::vector<std::string> seen_after_stop[2];
+    {
+        std::vector<std::thread> stoppers;
+        for (int t = 0; t < 2; ++t)
+            stoppers.emplace_back([&sampler, &out, &seen_after_stop, t] {
+                sampler.stop();
+                // All writes happened-before stop() returned; reading the
+                // stream here races with nothing.
+                seen_after_stop[t] = lines_of(out->str());
+            });
+        for (std::thread& stopper : stoppers) stopper.join();
+    }
+    for (const std::vector<std::string>& lines : seen_after_stop) {
+        ASSERT_EQ(lines.size(), 1u);  // exactly one shutdown sample, no double
+        EXPECT_NE(lines[0].find("\"test.events\":{\"total\":3,\"delta\":3}"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(sampler.samples_written(), 1u);
 }
 
 TEST(TelemetrySampler, NullSinkSkipsWritesButDestructorStillFlushes) {

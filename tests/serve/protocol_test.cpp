@@ -205,5 +205,43 @@ TEST(Metrics, ResponseRejectsSizeMismatch) {
     EXPECT_THROW((void)parse_response("METRICS"), DataError);
 }
 
+TEST(Dump, RequestRoundTrips) {
+    const Request parsed = parse_request(serialize(Request{RequestType::Dump}));
+    EXPECT_EQ(parsed.type, RequestType::Dump);
+    EXPECT_THROW((void)parse_request("DUMP now"), DataError);  // trailing junk
+}
+
+TEST(Dump, ResponseCarriesFlightRecordsVerbatim) {
+    // DUMPED shares METRICS' length-prefixed raw-body shape, so the
+    // newline-separated record lines survive untouched.
+    Response response;
+    response.type = ResponseType::Dumped;
+    response.exposition =
+        "seq=6 verb=PUSH outcome=ok events=64 scores=59 recv_us=1.000 "
+        "parse_us=2.250 queue_us=3.500 score_us=100.125 reply_us=4.000 "
+        "total_us=120.500\n"
+        "seq=7 verb=DRAIN outcome=ok events=0 scores=0 recv_us=0.000 "
+        "parse_us=0.000 queue_us=0.000 score_us=0.000 reply_us=0.000 "
+        "total_us=0.000\n";
+    const Response parsed = parse_response(serialize(response));
+    ASSERT_EQ(parsed.type, ResponseType::Dumped);
+    EXPECT_EQ(parsed.exposition, response.exposition);
+}
+
+TEST(Dump, EmptyDumpRoundTrips) {
+    Response response;
+    response.type = ResponseType::Dumped;
+    const Response parsed = parse_response(serialize(response));
+    EXPECT_EQ(parsed.type, ResponseType::Dumped);
+    EXPECT_EQ(parsed.exposition, "");
+}
+
+TEST(Dump, ResponseRejectsSizeMismatch) {
+    EXPECT_THROW((void)parse_response("DUMPED 10 short"), DataError);
+    EXPECT_THROW((void)parse_response("DUMPED 2 too long"), DataError);
+    EXPECT_THROW((void)parse_response("DUMPED banana x"), DataError);
+    EXPECT_THROW((void)parse_response("DUMPED"), DataError);
+}
+
 }  // namespace
 }  // namespace adiv::serve

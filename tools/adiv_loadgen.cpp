@@ -30,12 +30,27 @@
 // --scrape-http PORT does the same end-to-end over the daemon's HTTP
 // GET /metrics endpoint (TCP mode only, no curl needed in CI).
 //
-// Results (events/s per jobs value, alarms, verification status) go to
-// --out as a single JSON document.
+// Every client call is timed, so each run also reports client-side latency
+// per verb (OPEN/PUSH/DRAIN/CLOSE, exact nearest-rank p50/p95/p99/max over
+// every call made) in the summary lines and the --out JSON.
+//
+// --profile (sweep mode, ADIV_PROFILE builds) turns each point into a
+// contention profile: the global metrics registry is reset per point, the
+// server's serve.stage.* histograms and wait-site instruments are captured
+// after the drain, and a `profile:` line names the dominant wait site.
+// --profile-trace PATH additionally streams the sampled event_stage lines
+// and per-point wait_site digests as JSONL for `adiv_traceview
+// --contention`; --hotpath-out PATH writes the full per-point breakdown
+// (stages, wait sites, dominant site) as BENCH_serve_hotpath.json. --dump
+// pulls each session's flight recorder (DUMP verb) before CLOSE and fails
+// the run if the dump does not replay as `seq=` records.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -53,6 +68,7 @@ struct LoadSpec {
     std::uint64_t seed = 20050628;
     bool verify = false;
     bool scrape = false;  // concurrent METRICS scrapes during the run
+    bool dump = false;    // pull the flight recorder (DUMP) before CLOSE
     std::size_t scorer_buffer = 0;  // must match the server's --buffer
 };
 
@@ -61,7 +77,20 @@ struct SessionOutcome {
     std::size_t windows = 0;
     std::uint64_t alarms = 0;
     std::vector<std::string> errors;
+    /// Client-side wall time of every protocol call, microseconds, keyed by
+    /// verb. PUSH gets one sample per frame, the others one per session.
+    std::map<std::string, std::vector<double>> latency_us;
 };
+
+/// Exact nearest-rank percentile over an unsorted sample set (sorts a copy).
+double nearest_rank_us(std::vector<double> values, double percentile) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(percentile / 100.0 *
+                                static_cast<double>(values.size()))));
+    return values[std::min(rank, values.size()) - 1];
+}
 
 /// Per-session replay stream: the paper's cycle matrix when the alphabet can
 /// host it, uniform symbols otherwise. Seeded per session so every session
@@ -100,28 +129,51 @@ SessionOutcome run_session(std::unique_ptr<serve::Transport> transport,
     };
     try {
         serve::Client client(std::move(transport));
+        Stopwatch call;
         const serve::OpenInfo info = client.open(spec.target);
+        outcome.latency_us["OPEN"].push_back(call.seconds() * 1e6);
         const Sequence events = make_session_stream(
             info.alphabet, spec.events_per_session, spec.seed + index);
 
         std::vector<double> scores;
         if (events.size() >= info.window)
             scores.reserve(events.size() - info.window + 1);
+        std::vector<double>& push_latency = outcome.latency_us["PUSH"];
+        push_latency.reserve((events.size() + spec.batch - 1) / spec.batch);
         for (std::size_t pos = 0; pos < events.size(); pos += spec.batch) {
             const std::size_t n = std::min(spec.batch, events.size() - pos);
+            call.restart();
             const std::vector<double> batch_scores =
                 client.push(SymbolView(events).subspan(pos, n));
+            push_latency.push_back(call.seconds() * 1e6);
             scores.insert(scores.end(), batch_scores.begin(), batch_scores.end());
         }
 
+        call.restart();
         const serve::SessionCounts drained = client.drain();
+        outcome.latency_us["DRAIN"].push_back(call.seconds() * 1e6);
         if (drained.events != events.size())
             fail("DRAINED events " + std::to_string(drained.events) +
                  ", pushed " + std::to_string(events.size()));
         if (drained.windows != scores.size())
             fail("DRAINED windows " + std::to_string(drained.windows) +
                  ", responses received " + std::to_string(scores.size()));
+        if (spec.dump) {
+            call.restart();
+            const std::string dump = client.dump();
+            outcome.latency_us["DUMP"].push_back(call.seconds() * 1e6);
+            // The ring replays newest-K events as `seq=...` lines; after a
+            // full session it must hold something and parse as records. The
+            // ring only fills while the server profiles, so an empty dump
+            // means the daemon is missing --profile.
+            if (dump.empty() || dump.rfind("seq=", 0) != 0)
+                fail("DUMP returned no flight records (server running "
+                     "without --profile?): '" +
+                     dump.substr(0, dump.find('\n')) + "'");
+        }
+        call.restart();
         const serve::SessionCounts closed = client.close_session();
+        outcome.latency_us["CLOSE"].push_back(call.seconds() * 1e6);
         if (closed.windows != drained.windows || closed.events != drained.events)
             fail("CLOSED counters disagree with DRAINED");
         client.disconnect();
@@ -220,6 +272,8 @@ struct RunResult {
     std::size_t total_events = 0;
     std::uint64_t total_alarms = 0;
     std::vector<std::string> errors;
+    /// Merged client-side call latencies across every session, by verb.
+    std::map<std::string, std::vector<double>> latency_us;
 
     [[nodiscard]] double events_per_sec() const noexcept {
         return seconds > 0.0 ? static_cast<double>(total_events) / seconds : 0.0;
@@ -256,10 +310,78 @@ RunResult run_load(
         result.total_alarms += outcome.alarms;
         result.errors.insert(result.errors.end(), outcome.errors.begin(),
                              outcome.errors.end());
+        for (const auto& [verb, samples] : outcome.latency_us) {
+            std::vector<double>& merged = result.latency_us[verb];
+            merged.insert(merged.end(), samples.begin(), samples.end());
+        }
     }
     result.errors.insert(result.errors.end(), scrape_errors.begin(),
                          scrape_errors.end());
     return result;
+}
+
+/// One summary line per verb: exact nearest-rank client-side percentiles
+/// over every call the run made.
+void print_latency_summary(const RunResult& result) {
+    for (const auto& [verb, samples] : result.latency_us) {
+        std::printf("  client latency %-5s n=%-6zu p50=%.1fus p95=%.1fus "
+                    "p99=%.1fus max=%.1fus\n",
+                    verb.c_str(), samples.size(),
+                    nearest_rank_us(samples, 50.0),
+                    nearest_rank_us(samples, 95.0),
+                    nearest_rank_us(samples, 99.0),
+                    samples.empty()
+                        ? 0.0
+                        : *std::max_element(samples.begin(), samples.end()));
+    }
+}
+
+/// The "client_latency_us" object of one result point in the --out JSON.
+void write_latency_json(JsonWriter& w, const RunResult& result) {
+    w.key("client_latency_us").begin_object();
+    for (const auto& [verb, samples] : result.latency_us) {
+        w.key(verb).begin_object();
+        w.key("count").value(static_cast<std::uint64_t>(samples.size()));
+        w.key("p50").value(nearest_rank_us(samples, 50.0));
+        w.key("p95").value(nearest_rank_us(samples, 95.0));
+        w.key("p99").value(nearest_rank_us(samples, 99.0));
+        w.key("max").value(samples.empty() ? 0.0
+                                           : *std::max_element(samples.begin(),
+                                                               samples.end()));
+        w.end_object();
+    }
+    w.end_object();
+}
+
+/// The pipeline stages in serve.stage.* order (also the order the hotpath
+/// JSON emits them in).
+constexpr const char* kStageNames[] = {"recv",  "parse", "queue",
+                                       "score", "reply", "total"};
+
+/// The registry digest of one profiled sweep point, captured after the
+/// point's server drained and before the next point resets the registry:
+/// serve.stage.* histogram summaries, every wait site, the dominant site.
+struct ProfilePoint {
+    std::map<std::string, HistogramSummary> stages;
+    std::vector<WaitSiteSummary> sites;
+    std::string dominant_site;   ///< empty when nothing contended
+    std::uint64_t stage_samples = 0;  ///< serve.stage.total_us count
+};
+
+ProfilePoint capture_profile_point() {
+    ProfilePoint point;
+    const MetricsRegistry::Snapshot snap = global_metrics().snapshot();
+    for (const char* stage : kStageNames) {
+        const std::string name = std::string("serve.stage.") + stage + "_us";
+        for (const auto& [metric, summary] : snap.histograms)
+            if (metric == name) point.stages[stage] = summary;
+    }
+    if (const auto it = point.stages.find("total"); it != point.stages.end())
+        point.stage_samples = it->second.count;
+    point.sites = global_wait_sites().summaries();
+    if (const WaitSiteSummary* dominant = dominant_wait_site(point.sites))
+        point.dominant_site = dominant->name;
+    return point;
 }
 
 }  // namespace
@@ -292,6 +414,25 @@ int main(int argc, char** argv) {
     cli.add_option("scrape-http", "",
                    "TCP mode: also GET /metrics from the daemon's "
                    "--metrics-port at this port");
+    cli.add_flag("dump",
+                 "pull each session's flight recorder (DUMP) before CLOSE; "
+                 "fail unless it replays as seq= records (needs a profiling "
+                 "server)");
+    cli.add_flag("profile",
+                 "sweep mode: profile each point — reset the registry, "
+                 "capture serve.stage.* and wait sites after the drain "
+                 "(ADIV_PROFILE builds)");
+    cli.add_option("profile-sample", "64",
+                   "sweep mode: server emits one event_stage trace line per "
+                   "N PUSHes under --profile (0 = none)");
+    cli.add_option("profile-trace", "",
+                   "write event_stage + wait_site JSONL here for "
+                   "adiv_traceview --contention (requires --profile)");
+    cli.add_option("hotpath-out", "",
+                   "write the per-point stage/wait-site breakdown as a "
+                   "BENCH_serve_hotpath JSON document (requires --profile)");
+    cli.add_option("flight", "64",
+                   "sweep mode: per-session flight-recorder capacity");
     try {
         if (!cli.parse(argc, argv)) return 0;
 
@@ -303,6 +444,7 @@ int main(int argc, char** argv) {
         spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
         spec.verify = cli.get_flag("verify");
         spec.scrape = cli.get_flag("scrape");
+        spec.dump = cli.get_flag("dump");
         spec.scorer_buffer = static_cast<std::size_t>(cli.get_int("buffer"));
         require(spec.sessions > 0, "--sessions must be positive");
         require(spec.batch > 0, "--batch must be positive");
@@ -318,10 +460,33 @@ int main(int argc, char** argv) {
         require(cli.get("scrape-http").empty() || sweep.empty(),
                 "--scrape-http needs TCP mode (--port)");
 
+        const bool profile = cli.get_flag("profile");
+        if (profile) {
+            require(profiling_compiled(),
+                    "--profile needs an ADIV_PROFILE build (reconfigure with "
+                    "-DADIV_PROFILE=ON)");
+            require(!sweep.empty(),
+                    "--profile needs sweep mode (--sweep-jobs); profile a "
+                    "daemon by starting adiv_serve with --profile");
+            set_profiling_enabled(true);
+        }
+        require(cli.get("hotpath-out").empty() || profile,
+                "--hotpath-out requires --profile");
+        require(!spec.dump || sweep.empty() || profile,
+                "--dump in sweep mode requires --profile (the flight ring "
+                "only fills while the server profiles)");
+        std::shared_ptr<TraceSink> profile_sink;
+        if (const std::string trace = cli.get("profile-trace"); !trace.empty()) {
+            require(profile, "--profile-trace requires --profile");
+            profile_sink = open_trace_sink(trace);
+            set_global_trace_sink(profile_sink);
+        }
+
         struct SweepPoint {
             std::size_t jobs_requested;
             std::size_t jobs_resolved;
             RunResult result;
+            ProfilePoint profile;
         };
         std::vector<SweepPoint> points;
         bool failed = false;
@@ -338,6 +503,14 @@ int main(int argc, char** argv) {
                 config.queue_capacity =
                     static_cast<std::size_t>(cli.get_int("queue"));
                 config.scorer_buffer = spec.scorer_buffer;
+                config.flight_capacity =
+                    static_cast<std::size_t>(cli.get_int("flight"));
+                config.profile_sample_every =
+                    static_cast<std::uint64_t>(cli.get_int("profile-sample"));
+                // Each profiled point gets a clean registry so its captured
+                // digest covers exactly this jobs value; the wait-site
+                // instruments live in the same registry and reset with it.
+                if (profile) global_metrics().reset();
                 serve::Server server(config);
                 server.add_model(spec.target == "default" ? model->name()
                                                           : spec.target,
@@ -350,12 +523,27 @@ int main(int argc, char** argv) {
                         return std::move(client_end);
                     });
                 server.shutdown();
-                points.push_back({jobs, resolve_jobs(jobs), result});
+                ProfilePoint prof;
+                if (profile) {
+                    prof = capture_profile_point();
+                    if (profile_sink && profile_sink->enabled())
+                        global_wait_sites().write_jsonl(*profile_sink);
+                }
+                points.push_back({jobs, resolve_jobs(jobs), result, prof});
                 std::printf("jobs %zu (%zu workers): %zu events in %.2fs — "
                             "%.0f events/s, %llu alarms\n",
                             jobs, resolve_jobs(jobs), result.total_events,
                             result.seconds, result.events_per_sec(),
                             static_cast<unsigned long long>(result.total_alarms));
+                print_latency_summary(result);
+                if (profile)
+                    std::printf("  profile: stage samples=%llu, dominant wait "
+                                "site: %s\n",
+                                static_cast<unsigned long long>(
+                                    prof.stage_samples),
+                                prof.dominant_site.empty()
+                                    ? "(none contended)"
+                                    : prof.dominant_site.c_str());
                 for (const auto& error : result.errors) {
                     std::fprintf(stderr, "adiv_loadgen: %s\n", error.c_str());
                     failed = true;
@@ -368,7 +556,7 @@ int main(int argc, char** argv) {
                     return serve::tcp_connect(
                         host, static_cast<std::uint16_t>(port));
                 });
-            points.push_back({0, 0, result});
+            points.push_back({0, 0, result, {}});
             std::printf("%zu session(s) x %zu events: %zu events in %.2fs — "
                         "%.0f events/s, %llu alarms%s\n",
                         spec.sessions, spec.events_per_session,
@@ -376,6 +564,7 @@ int main(int argc, char** argv) {
                         result.events_per_sec(),
                         static_cast<unsigned long long>(result.total_alarms),
                         spec.verify ? " (verified bit-identical)" : "");
+            print_latency_summary(result);
             for (const auto& error : result.errors) {
                 std::fprintf(stderr, "adiv_loadgen: %s\n", error.c_str());
                 failed = true;
@@ -420,6 +609,7 @@ int main(int argc, char** argv) {
                 w.key("alarms").value(point.result.total_alarms);
                 w.key("errors")
                     .value(static_cast<std::uint64_t>(point.result.errors.size()));
+                write_latency_json(w, point.result);
                 w.end_object();
             }
             w.end_array();
@@ -428,6 +618,77 @@ int main(int argc, char** argv) {
             require_data(file.good(), "cannot open '" + out + "'");
             file << w.str() << '\n';
             std::printf("results written to %s\n", out.c_str());
+        }
+
+        if (const std::string hotpath = cli.get("hotpath-out");
+            !hotpath.empty()) {
+            // The busiest point (most workers; ties to the later point)
+            // delivers the headline verdict: where the hot path waits.
+            const SweepPoint* busiest = nullptr;
+            for (const auto& point : points)
+                if (busiest == nullptr ||
+                    point.jobs_resolved >= busiest->jobs_resolved)
+                    busiest = &point;
+            JsonWriter w;
+            w.begin_object();
+            w.key("benchmark").value("serve_hotpath");
+            w.key("sessions").value(static_cast<std::uint64_t>(spec.sessions));
+            w.key("events_per_session")
+                .value(static_cast<std::uint64_t>(spec.events_per_session));
+            w.key("batch").value(static_cast<std::uint64_t>(spec.batch));
+            w.key("profile_sample_every")
+                .value(static_cast<std::uint64_t>(
+                    cli.get_int("profile-sample")));
+            w.key("results").begin_array();
+            for (const auto& point : points) {
+                w.begin_object();
+                w.key("jobs").value(
+                    static_cast<std::uint64_t>(point.jobs_requested));
+                w.key("workers").value(
+                    static_cast<std::uint64_t>(point.jobs_resolved));
+                w.key("events_per_sec").value(point.result.events_per_sec());
+                w.key("stage_samples").value(point.profile.stage_samples);
+                w.key("stages").begin_object();
+                for (const char* stage : kStageNames) {
+                    const auto it = point.profile.stages.find(stage);
+                    if (it == point.profile.stages.end()) continue;
+                    const HistogramSummary& s = it->second;
+                    w.key(stage).begin_object();
+                    w.key("count").value(s.count);
+                    w.key("mean_us").value(s.mean);
+                    w.key("p50_us").value(s.p50);
+                    w.key("p95_us").value(s.p95);
+                    w.key("p99_us").value(s.p99);
+                    w.key("max_us").value(s.max);
+                    w.end_object();
+                }
+                w.end_object();
+                w.key("wait_sites").begin_array();
+                for (const WaitSiteSummary& site : point.profile.sites) {
+                    w.begin_object();
+                    w.key("site").value(site.name);
+                    w.key("kind").value(to_string(site.kind));
+                    w.key("acquires").value(site.acquires);
+                    w.key("contended").value(site.contended);
+                    w.key("wait_us_total").value(site.wait_us_total);
+                    w.key("wait_us_mean").value(site.wait_us_mean);
+                    w.key("wait_us_p95").value(site.wait_us_p95);
+                    w.key("wait_us_max").value(site.wait_us_max);
+                    w.end_object();
+                }
+                w.end_array();
+                w.key("dominant_wait_site").value(point.profile.dominant_site);
+                w.end_object();
+            }
+            w.end_array();
+            w.key("dominant_wait_site")
+                .value(busiest != nullptr ? busiest->profile.dominant_site
+                                          : std::string());
+            w.end_object();
+            std::ofstream file(hotpath);
+            require_data(file.good(), "cannot open '" + hotpath + "'");
+            file << w.str() << '\n';
+            std::printf("hotpath profile written to %s\n", hotpath.c_str());
         }
         return failed ? 1 : 0;
     } catch (const std::exception& e) {

@@ -24,6 +24,14 @@
 // --detector KIND --dw N trains on --input (a trace/stream file) or, when
 // --input is absent, on a freshly generated paper corpus (--training-length
 // events). Several sessions can then OPEN "default" or the specific name.
+//
+// --profile turns on the hot-path contention instrumentation (requires an
+// ADIV_PROFILE build): serve.stage.* histograms and wait-site counters flow
+// through --metrics / the METRICS verb, sampled per-event `event_stage`
+// lines (1-in---profile-sample PUSHes) and a final `wait_site` digest land
+// in the --trace stream for `adiv_traceview --contention`. --dump-on-signal
+// makes SIGUSR1 print every session's flight-recorder ring (last --flight
+// events each) to stderr without disturbing the run.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -35,7 +43,9 @@ using namespace adiv;
 
 namespace {
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump{false};
 void handle_stop_signal(int) { g_stop.store(true); }
+void handle_dump_signal(int) { g_dump.store(true); }
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +70,16 @@ int main(int argc, char** argv) {
                    "backpressure bound: pool queue and per-connection inbox");
     cli.add_option("buffer", "0", "per-session scorer buffer (0 = 4*DW)");
     cli.add_flag("allow-paths", "let OPEN name model files on disk");
+    cli.add_flag("profile",
+                 "enable wait-site and per-event stage profiling "
+                 "(ADIV_PROFILE builds)");
+    cli.add_option("profile-sample", "64",
+                   "emit one event_stage trace line per N PUSHes under "
+                   "--profile (0 = none)");
+    cli.add_option("flight", "64",
+                   "per-session flight-recorder capacity (last K events)");
+    cli.add_flag("dump-on-signal",
+                 "print all flight recorders to stderr on SIGUSR1");
     add_observability_options(cli);
     try {
         if (!cli.parse(argc, argv)) return 0;
@@ -69,6 +89,16 @@ int main(int argc, char** argv) {
         config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
         config.scorer_buffer = static_cast<std::size_t>(cli.get_int("buffer"));
         config.allow_model_paths = cli.get_flag("allow-paths");
+        config.flight_capacity = static_cast<std::size_t>(cli.get_int("flight"));
+        config.profile_sample_every =
+            static_cast<std::uint64_t>(cli.get_int("profile-sample"));
+        const bool profile = cli.get_flag("profile");
+        if (profile) {
+            require(profiling_compiled(),
+                    "--profile needs an ADIV_PROFILE build (reconfigure with "
+                    "-DADIV_PROFILE=ON)");
+            set_profiling_enabled(true);
+        }
 
         std::shared_ptr<const SequenceDetector> model;
         if (const std::string path = cli.get("model"); !path.empty()) {
@@ -116,16 +146,28 @@ int main(int argc, char** argv) {
         }
         std::signal(SIGINT, handle_stop_signal);
         std::signal(SIGTERM, handle_stop_signal);
+        const bool dump_on_signal = cli.get_flag("dump-on-signal");
+        if (dump_on_signal) std::signal(SIGUSR1, handle_dump_signal);
         std::printf("adiv_serve: listening on 127.0.0.1:%u (model=%s, jobs=%zu, "
                     "queue=%zu)\n",
                     static_cast<unsigned>(listener.port()), model_name.c_str(),
                     config.jobs, config.queue_capacity);
         std::fflush(stdout);
 
-        server.serve(listener, [] { return g_stop.load(); });
+        // The stop callback runs on the accept loop, not in the signal
+        // handler, so it may safely walk the session table and write stderr.
+        server.serve(listener, [&server, dump_on_signal] {
+            if (dump_on_signal && g_dump.exchange(false)) {
+                std::fputs(server.dump_flight_records().c_str(), stderr);
+                std::fflush(stderr);
+            }
+            return g_stop.load();
+        });
         listener.close();
         if (scrape) scrape->stop();
         server.shutdown();
+        if (const auto sink = global_trace_sink(); profile && sink->enabled())
+            global_wait_sites().write_jsonl(*sink);
         std::printf("adiv_serve: drained; %zu connection(s) served\n",
                     server.connections_accepted());
         return 0;

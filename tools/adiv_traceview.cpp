@@ -2,6 +2,7 @@
 //
 //   adiv_traceview run.trace.jsonl
 //   adiv_traceview --json run.trace.jsonl other.trace.jsonl
+//   adiv_traceview --contention profiled.trace.jsonl
 //   some_tool --trace - 2>&1 | adiv_traceview -
 //
 // Prints one row per span name — count, total time, self time (total minus
@@ -11,6 +12,12 @@
 // longest root span). --json emits the same content as one JSON document,
 // spans sorted by name. Malformed lines are counted and reported, never
 // fatal, so a trace cut off mid-line still analyzes.
+//
+// --contention switches to the profiling view: the sampled per-event
+// `event_stage` lines become a recv/parse/queue/score/reply/total stage
+// breakdown, the `wait_site` lines become a top-wait-sites report, and the
+// dominant (most total wait, contention-kind) site is named on its own
+// line. Combines with --json.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,11 +32,15 @@ int main(int argc, char** argv) {
                   "aggregate a JSON-lines span trace: per-span statistics and "
                   "per-run critical paths");
     cli.add_flag("json", "emit one JSON document instead of tables");
+    cli.add_flag("contention",
+                 "profiling view: stage breakdown + top wait sites from "
+                 "event_stage / wait_site lines");
     try {
         if (!cli.parse(argc, argv)) return 0;
         const std::vector<std::string>& inputs = cli.positionals();
         require(!inputs.empty(),
-                "usage: adiv_traceview [--json] TRACE.jsonl ... ('-' = stdin)");
+                "usage: adiv_traceview [--json] [--contention] TRACE.jsonl ... "
+                "('-' = stdin)");
         std::stringstream merged;
         for (const std::string& path : inputs) {
             if (path == "-") {
@@ -40,6 +51,14 @@ int main(int argc, char** argv) {
                 merged << in.rdbuf();
             }
             merged << '\n';  // keep file boundaries from gluing two lines
+        }
+        if (cli.get_flag("contention")) {
+            const ContentionAnalysis analysis = analyze_contention(merged);
+            if (cli.get_flag("json"))
+                std::printf("%s\n", contention_to_json(analysis).c_str());
+            else
+                std::fputs(render_contention(analysis).c_str(), stdout);
+            return 0;
         }
         const TraceAnalysis analysis = analyze_trace(merged);
         if (cli.get_flag("json"))

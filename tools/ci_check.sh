@@ -18,6 +18,12 @@
 #                                       # adiv_traceview, and scrape a live
 #                                       # daemon (METRICS verb + HTTP
 #                                       # GET /metrics, exposition validated)
+#   tools/ci_check.sh --profile-smoke   # also: profiled in-process loadgen
+#                                       # sweep (stage histograms, wait
+#                                       # sites, hotpath JSON, traceview
+#                                       # --contention) plus a --profile
+#                                       # daemon driven with --dump and
+#                                       # SIGUSR1 flight-recorder dumps
 #   tools/ci_check.sh --lint            # also: adiv_lint self-scan (must be
 #                                       # clean) and, when clang-tidy is on
 #                                       # PATH, clang-tidy over src/
@@ -33,6 +39,7 @@ asan=0
 tsan=0
 serve_smoke=0
 obs_smoke=0
+profile_smoke=0
 lint=0
 expect_mode=0
 for arg in "$@"; do
@@ -54,8 +61,9 @@ for arg in "$@"; do
         --sanitize=all) asan=1; tsan=1 ;;
         --serve-smoke) serve_smoke=1 ;;
         --obs-smoke) obs_smoke=1 ;;
+        --profile-smoke) profile_smoke=1 ;;
         --lint) lint=1 ;;
-        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke] [--obs-smoke] [--lint]" >&2
+        *) echo "usage: tools/ci_check.sh [--sanitize [address|thread|all]] [--serve-smoke] [--obs-smoke] [--profile-smoke] [--lint]" >&2
            exit 2 ;;
     esac
 done
@@ -97,10 +105,12 @@ if [ "$tsan" -eq 1 ]; then
     cmake --build build-tsan -j "$jobs"
     # The concurrency surface: the pool itself, the scheduler's determinism
     # suite (jobs > 1 plan runs for all detectors), the engine sinks, the
-    # detection server (transports, strands, concurrent sessions), and the
-    # live-telemetry threads (sampler ticks, HTTP scrape listener).
+    # detection server (transports, strands, concurrent sessions), the
+    # live-telemetry threads (sampler ticks, HTTP scrape listener), and the
+    # profiling layer (wait-site registry, flight-recorder ring, stamped
+    # server pipeline).
     (cd build-tsan && ctest --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims|Framing|Requests|Responses|Loopback|FrameHelpers|Tcp\.|ServerLoopback|TelemetrySampler|HttpMetrics')
+        -R 'ThreadPool|TaskGroup|EngineDeterminism|RunPlanWithSink|Maps\.|AllDetectorMaps|EnsembleClaims|Framing|Requests|Responses|Loopback|FrameHelpers|Tcp\.|ServerLoopback|TelemetrySampler|HttpMetrics|WaitSite|Profiled|FlightRecorder|StageProfile|Contention')
 fi
 
 if [ "$serve_smoke" -eq 1 ]; then
@@ -194,6 +204,81 @@ if [ "$obs_smoke" -eq 1 ]; then
     kill -TERM "$serve_pid"
     wait "$serve_pid" || { echo "obs smoke: daemon exited non-zero" >&2; exit 1; }
     serve_pid=""
+    rm -rf "$smoke_dir"
+    trap - EXIT
+fi
+
+if [ "$profile_smoke" -eq 1 ]; then
+    echo "== profile smoke: contention profiling end to end =="
+    smoke_dir=$(mktemp -d)
+    serve_pid=""
+    trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+    ./build/tools/adiv_train --demo-trace "$smoke_dir/demo.trace"
+    ./build/tools/adiv_train --detector stide --window 6 \
+        --input "$smoke_dir/demo.trace" --out "$smoke_dir/model.adiv"
+
+    echo "-- profile smoke: profiled in-process sweep --"
+    # --profile-sample 8 keeps the event_stage stream dense enough for the
+    # contention view at smoke-test sizes; --dump exercises the DUMP verb
+    # against every session's flight ring.
+    ./build/tools/adiv_loadgen --model "$smoke_dir/model.adiv" \
+        --sweep-jobs 1,2 --sessions 4 --events 8000 \
+        --profile --profile-sample 8 --dump \
+        --profile-trace "$smoke_dir/profile.jsonl" \
+        --hotpath-out "$smoke_dir/BENCH_serve_hotpath.json" \
+        > "$smoke_dir/sweep.log"
+    grep -q 'profile: stage samples=' "$smoke_dir/sweep.log" || {
+        echo "profile smoke: sweep printed no profile line" >&2; exit 1; }
+    if grep -q 'profile: stage samples=0,' "$smoke_dir/sweep.log"; then
+        echo "profile smoke: a sweep point recorded zero stage samples" >&2
+        exit 1
+    fi
+    grep -q 'client latency PUSH' "$smoke_dir/sweep.log" || {
+        echo "profile smoke: no client-side PUSH latency summary" >&2; exit 1; }
+    grep -q '"dominant_wait_site":"' "$smoke_dir/BENCH_serve_hotpath.json" || {
+        echo "profile smoke: hotpath JSON names no dominant wait site" >&2
+        exit 1
+    }
+    ./build/tools/adiv_traceview --contention "$smoke_dir/profile.jsonl" \
+        > "$smoke_dir/contention.txt"
+    grep -q 'stage breakdown' "$smoke_dir/contention.txt" || {
+        echo "profile smoke: traceview --contention found no stages" >&2
+        exit 1
+    }
+    grep -q 'dominant wait site:' "$smoke_dir/contention.txt" || {
+        echo "profile smoke: traceview --contention named no dominant site" >&2
+        exit 1
+    }
+
+    echo "-- profile smoke: profiled daemon, DUMP verb + SIGUSR1 --"
+    ./build/tools/adiv_serve --model "$smoke_dir/model.adiv" --port 0 --jobs 2 \
+        --profile --dump-on-signal > "$smoke_dir/serve.log" 2>&1 &
+    serve_pid=$!
+    port=""
+    for _ in $(seq 1 50); do
+        port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$smoke_dir/serve.log")
+        [ -n "$port" ] && break
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke_dir/serve.log" >&2; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$port" ] || { echo "profile smoke: daemon never reported a port" >&2; exit 1; }
+    ./build/tools/adiv_loadgen --port "$port" --model "$smoke_dir/model.adiv" \
+        --sessions 2 --events 20000 --dump > "$smoke_dir/loadgen.log" &
+    loadgen_pid=$!
+    # Fire the flight-recorder dump while sessions are still live so the
+    # rings have content; the daemon prints it between accept polls.
+    sleep 1
+    kill -USR1 "$serve_pid"
+    wait "$loadgen_pid" || { cat "$smoke_dir/loadgen.log" >&2
+        echo "profile smoke: loadgen --dump failed" >&2; exit 1; }
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || { echo "profile smoke: daemon exited non-zero" >&2; exit 1; }
+    serve_pid=""
+    grep -q 'flight recorder dump' "$smoke_dir/serve.log" || {
+        echo "profile smoke: SIGUSR1 produced no flight recorder dump" >&2
+        exit 1
+    }
     rm -rf "$smoke_dir"
     trap - EXIT
 fi
